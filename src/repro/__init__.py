@@ -1,0 +1,59 @@
+"""repro — a simulation-based reproduction of *DoubleDecker: a cooperative
+disk caching framework for derivative clouds* (Middleware '17).
+
+The package builds the complete platform the paper runs on — guest page
+caches with cleancache hooks, cgroup memory control, queueing HDD/SSD
+models, VM/container nesting — plus the DoubleDecker hypervisor cache
+itself and the baselines it is evaluated against.
+
+Quick start::
+
+    from repro import SimContext, DDConfig, CachePolicy
+    from repro.workloads import WebserverWorkload
+
+    ctx = SimContext(seed=42)
+    host = ctx.create_host()
+    host.install_doubledecker(DDConfig(mem_capacity_mb=2048))
+    vm = host.create_vm("vm1", memory_mb=4096)
+    web = vm.create_container("web", 1024, CachePolicy.memory(60))
+    workload = WebserverWorkload(nfiles=2000)
+    workload.start(web, ctx.streams)
+    ctx.run(until=600)
+    print(workload.counters.ops, "ops")
+"""
+
+from . import analysis
+from .context import SimContext
+from .core import (
+    CachePolicy,
+    DDConfig,
+    DoubleDeckerCache,
+    GlobalCache,
+    NullCache,
+    StaticPartitionCache,
+    StoreKind,
+)
+from .hypervisor import Host, HostSpec
+from .guest import Container, VirtualMachine
+from .storage import HDDSpec, MemSpec, SSDSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CachePolicy",
+    "Container",
+    "DDConfig",
+    "DoubleDeckerCache",
+    "GlobalCache",
+    "HDDSpec",
+    "Host",
+    "HostSpec",
+    "MemSpec",
+    "NullCache",
+    "SSDSpec",
+    "SimContext",
+    "StaticPartitionCache",
+    "StoreKind",
+    "VirtualMachine",
+    "__version__",
+]

@@ -1,0 +1,164 @@
+"""Post-run analysis helpers.
+
+Turns :class:`~repro.experiments.runner.ExperimentResult` and
+:class:`~repro.experiments.scenarios.ScenarioResult` objects into
+comparable, exportable artifacts: speedup tables, series CSV/JSON dumps,
+and simple shape checks (the same ones the benchmark suite asserts,
+available programmatically).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .metrics import TimeSeries, format_table
+
+__all__ = [
+    "speedup_table",
+    "series_to_json",
+    "result_to_json",
+    "compare_scalars",
+    "shape_check",
+    "ShapeExpectation",
+]
+
+
+def speedup_table(
+    baseline: Mapping[str, float],
+    variants: Mapping[str, Mapping[str, float]],
+    metric_name: str = "throughput",
+) -> str:
+    """Render per-key speedups of each variant over a baseline.
+
+    ``baseline`` maps workload -> value; ``variants`` maps variant name ->
+    (workload -> value).  Zero/absent baselines render as ``inf``.
+    """
+    headers = ["workload", f"baseline {metric_name}"] + [
+        f"{name} speedup" for name in variants
+    ]
+    rows: List[List[object]] = []
+    for key in baseline:
+        row: List[object] = [key, round(baseline[key], 2)]
+        for name, values in variants.items():
+            value = values.get(key, 0.0)
+            base = baseline[key]
+            row.append(round(value / base, 2) if base > 0 else float("inf"))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def series_to_json(series: Mapping[str, TimeSeries]) -> str:
+    """Serialize occupancy traces to JSON (times/values per label)."""
+    payload = {
+        label: {"times": list(ts.times), "values": list(ts.values)}
+        for label, ts in series.items()
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def result_to_json(result) -> str:
+    """Serialize an ExperimentResult (tables, scalars, notes) to JSON."""
+    payload: Dict[str, Any] = {
+        "name": result.name,
+        "description": result.description,
+        "scalars": dict(result.scalars),
+        "notes": list(result.notes),
+        "tables": {
+            key: {"headers": list(headers), "rows": [list(r) for r in rows]}
+            for key, (headers, rows) in result.rows.items()
+        },
+        "series": {
+            label: {"times": list(ts.times), "values": list(ts.values)}
+            for label, ts in result.series.items()
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def compare_scalars(
+    a: Mapping[str, float], b: Mapping[str, float], rel_tol: float = 0.05
+) -> Dict[str, dict]:
+    """Diff two scalar dicts; returns per-key {a, b, ratio, within_tol}."""
+    out: Dict[str, dict] = {}
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        entry: Dict[str, Any] = {"a": va, "b": vb}
+        if va is not None and vb is not None and va != 0:
+            ratio = vb / va
+            entry["ratio"] = ratio
+            entry["within_tol"] = abs(ratio - 1.0) <= rel_tol
+        else:
+            entry["ratio"] = None
+            entry["within_tol"] = va == vb
+        out[key] = entry
+    return out
+
+
+class ShapeExpectation:
+    """A declarative qualitative expectation over result scalars.
+
+    The same language the benchmark suite uses in code, as data::
+
+        exp = ShapeExpectation()
+        exp.greater("web_ddmem_speedup", 3.0)
+        exp.ratio_above("redis_dd", "redis_morai", 5.0)
+        failures = exp.check(result.scalars)
+    """
+
+    def __init__(self) -> None:
+        self._checks: List[tuple] = []
+
+    def greater(self, key: str, threshold: float) -> "ShapeExpectation":
+        self._checks.append(("greater", key, threshold))
+        return self
+
+    def less(self, key: str, threshold: float) -> "ShapeExpectation":
+        self._checks.append(("less", key, threshold))
+        return self
+
+    def equals(self, key: str, value: float, tol: float = 1e-9) -> "ShapeExpectation":
+        self._checks.append(("equals", key, (value, tol)))
+        return self
+
+    def ratio_above(self, num_key: str, den_key: str,
+                    threshold: float) -> "ShapeExpectation":
+        self._checks.append(("ratio", (num_key, den_key), threshold))
+        return self
+
+    def check(self, scalars: Mapping[str, float]) -> List[str]:
+        """Evaluate all expectations; returns human-readable failures."""
+        failures: List[str] = []
+        for kind, key, arg in self._checks:
+            if kind == "ratio":
+                num_key, den_key = key
+                num = scalars.get(num_key)
+                den = scalars.get(den_key)
+                if num is None or den is None or den == 0:
+                    failures.append(f"ratio {num_key}/{den_key}: missing data")
+                elif num / den <= arg:
+                    failures.append(
+                        f"ratio {num_key}/{den_key} = {num / den:.3g} <= {arg}"
+                    )
+                continue
+            value = scalars.get(key)
+            if value is None:
+                failures.append(f"{key}: missing")
+            elif kind == "greater" and not value > arg:
+                failures.append(f"{key} = {value:.3g} not > {arg}")
+            elif kind == "less" and not value < arg:
+                failures.append(f"{key} = {value:.3g} not < {arg}")
+            elif kind == "equals":
+                target, tol = arg
+                if abs(value - target) > tol:
+                    failures.append(f"{key} = {value:.3g} != {target}")
+        return failures
+
+
+def shape_check(result, expectation: ShapeExpectation) -> None:
+    """Assert an expectation against a result (raises AssertionError)."""
+    failures = expectation.check(result.scalars)
+    if failures:
+        raise AssertionError(
+            f"shape check failed for {result.name}: " + "; ".join(failures)
+        )

@@ -1,0 +1,6 @@
+"""Linux-cgroup-like resource control with DoubleDecker cache extensions."""
+
+from .cgroup import Cgroup
+from .subsystem import CgroupSubsystem
+
+__all__ = ["Cgroup", "CgroupSubsystem"]

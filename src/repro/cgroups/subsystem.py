@@ -1,0 +1,89 @@
+"""The cgroup subsystem: container lifecycle and cleancache notification.
+
+Implements the paper's cgroup/cleancache integration events:
+
+* ``CREATE_CGROUP``  — on container boot, ask the hypervisor cache for a
+  fresh pool id and store it in the cgroup state;
+* ``SET_CG_WEIGHT`` — propagate a changed ``<T, W>`` tuple;
+* ``DESTROY_CGROUP`` — free the pool;
+* ``GET_STATS``     — expose per-container cache stats to the in-VM policy
+  controller.
+
+The subsystem only manages *state*; memory charging and reclaim live in
+the guest OS, which owns the devices and the page cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import CachePolicy
+from ..core.stats import PoolStats
+from .cgroup import Cgroup
+
+__all__ = ["CgroupSubsystem"]
+
+
+class CgroupSubsystem:
+    """Registry of the containers running inside one VM."""
+
+    def __init__(self, cleancache_client) -> None:
+        self.cleancache = cleancache_client
+        self.cgroups: Dict[int, Cgroup] = {}
+        self._by_name: Dict[str, Cgroup] = {}
+        self._next_id = 1
+
+    def create(
+        self, name: str, limit_blocks: int, policy: CachePolicy
+    ) -> Cgroup:
+        """Boot a container: allocate the cgroup and its cache pool."""
+        if name in self._by_name:
+            raise ValueError(f"cgroup {name!r} already exists")
+        cgroup = Cgroup(self._next_id, name, limit_blocks, policy)
+        self._next_id += 1
+        # CREATE_CGROUP: the cleancache layer forwards the event to the
+        # hypervisor cache, which returns the unique pool identifier.
+        cgroup.pool_id = self.cleancache.create_pool(name, policy)
+        self.cgroups[cgroup.cgroup_id] = cgroup
+        self._by_name[name] = cgroup
+        return cgroup
+
+    def destroy(self, cgroup: Cgroup) -> None:
+        """Shut a container down: DESTROY_CGROUP plus local teardown."""
+        if not cgroup.alive:
+            return
+        cgroup.alive = False
+        if cgroup.pool_id is not None:
+            self.cleancache.destroy_pool(cgroup.pool_id)
+            cgroup.pool_id = None
+        cgroup.anon.release_all()
+        del self.cgroups[cgroup.cgroup_id]
+        del self._by_name[cgroup.name]
+
+    def set_policy(self, cgroup: Cgroup, policy: CachePolicy) -> None:
+        """SET_CG_WEIGHT: update the <T, W> tuple, locally and remotely."""
+        cgroup.policy = policy
+        if cgroup.pool_id is not None:
+            self.cleancache.set_policy(cgroup.pool_id, policy)
+
+    def set_limit(self, cgroup: Cgroup, limit_blocks: int) -> None:
+        """Adjust a container's in-VM memory limit (reclaim is lazy)."""
+        cgroup.set_limit(limit_blocks)
+
+    def stats(self, cgroup: Cgroup) -> Optional[PoolStats]:
+        """GET_STATS for one container's hypervisor-cache pool."""
+        if cgroup.pool_id is None:
+            return None
+        return self.cleancache.get_stats(cgroup.pool_id)
+
+    def by_name(self, name: str) -> Cgroup:
+        cgroup = self._by_name.get(name)
+        if cgroup is None:
+            raise KeyError(f"no cgroup named {name!r}")
+        return cgroup
+
+    def __iter__(self):
+        return iter(self.cgroups.values())
+
+    def __len__(self) -> int:
+        return len(self.cgroups)

@@ -1,0 +1,112 @@
+"""The guest-side cleancache layer.
+
+Sits between the guest page cache and the hypervisor cache, exactly as
+Linux ``cleancache`` does: exclusive get on page-cache miss, put on clean
+eviction, flush on invalidation — extended per the paper with per-cgroup
+pools and the CREATE/SET_WEIGHT/MIGRATE/DESTROY/GET_STATS events.
+
+All data-path methods are generators; they charge hypercall costs through
+the :class:`~repro.cleancache.hypercall.HypercallChannel` and then
+delegate to whichever :class:`~repro.core.interface.HypervisorCacheBase`
+implementation the host runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from ..core.config import CachePolicy
+from ..core.interface import HypervisorCacheBase
+from ..core.pools import BlockKey
+from ..core.stats import PoolStats
+from ..simkernel import Environment
+from .hypercall import HypercallChannel, HypercallCosts
+
+__all__ = ["CleancacheClient"]
+
+
+class CleancacheClient:
+    """Per-VM cleancache front-end."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hvcache: HypervisorCacheBase,
+        vm_id: int,
+        block_bytes: int,
+        costs: Optional[HypercallCosts] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.env = env
+        self.hvcache = hvcache
+        self.vm_id = vm_id
+        self.block_bytes = block_bytes
+        self.channel = HypercallChannel(env, costs or HypercallCosts())
+        #: Kill switch: a guest kernel booted without cleancache support.
+        self.enabled = enabled
+
+    # -- control path (cgroup events) ------------------------------------------
+
+    def create_pool(self, name: str, policy: CachePolicy) -> Optional[int]:
+        """CREATE_CGROUP → new pool id (None when cleancache is off)."""
+        if not self.enabled:
+            return None
+        return self.hvcache.create_pool(self.vm_id, name, policy)
+
+    def destroy_pool(self, pool_id: int) -> None:
+        """DESTROY_CGROUP."""
+        if self.enabled:
+            self.hvcache.destroy_pool(self.vm_id, pool_id)
+
+    def set_policy(self, pool_id: int, policy: CachePolicy) -> None:
+        """SET_CG_WEIGHT."""
+        if self.enabled:
+            self.hvcache.set_policy(self.vm_id, pool_id, policy)
+
+    def get_stats(self, pool_id: int) -> Optional[PoolStats]:
+        """GET_STATS."""
+        if not self.enabled:
+            return None
+        return self.hvcache.pool_stats(self.vm_id, pool_id)
+
+    def migrate(self, from_pool: int, to_pool: int, inode: int) -> int:
+        """MIGRATE_OBJECT for one shared file."""
+        if not self.enabled:
+            return 0
+        return self.hvcache.migrate_objects(self.vm_id, from_pool, to_pool, inode)
+
+    # -- data path ---------------------------------------------------------------
+
+    def get_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
+        """Exclusive lookup; generator returning the found key set."""
+        if not self.enabled or pool_id is None or not keys:
+            return set()
+        found = yield from self.hvcache.get_many(self.vm_id, pool_id, keys)
+        payload = len(found) * self.block_bytes
+        yield from self.channel.charge_data(len(keys), payload)
+        return found
+
+    def put_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
+        """Best-effort store of clean evicted blocks; returns #stored."""
+        if not self.enabled or pool_id is None or not keys:
+            return 0
+        stored = yield from self.hvcache.put_many(self.vm_id, pool_id, keys)
+        payload = stored * self.block_bytes
+        yield from self.channel.charge_data(len(keys), payload)
+        return stored
+
+    def flush_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
+        """Invalidate specific blocks; returns #dropped."""
+        if not self.enabled or pool_id is None or not keys:
+            return 0
+        dropped = self.hvcache.flush_many(self.vm_id, pool_id, keys)
+        yield from self.channel.charge_control(len(keys))
+        return dropped
+
+    def flush_inode(self, pool_id: Optional[int], inode: int):
+        """Invalidate a whole file; returns #dropped."""
+        if not self.enabled or pool_id is None:
+            return 0
+        dropped = self.hvcache.flush_inode(self.vm_id, pool_id, inode)
+        yield from self.channel.charge_control(1)
+        return dropped

@@ -1,0 +1,46 @@
+"""Top-level simulation context: one object wiring env, RNG, and metrics.
+
+Most users start here::
+
+    from repro import SimContext, HostSpec, DDConfig, CachePolicy
+
+    ctx = SimContext(seed=42)
+    host = ctx.create_host()
+    host.install_doubledecker(DDConfig(mem_capacity_mb=2048))
+    vm = host.create_vm("vm1", memory_mb=4096)
+    web = vm.create_container("web", 1024, CachePolicy.memory(60))
+    ...
+    ctx.run(until=1800)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hypervisor import Host, HostSpec
+from .metrics import MetricsRegistry
+from .simkernel import Environment, RandomStreams
+
+__all__ = ["SimContext"]
+
+
+class SimContext:
+    """Deterministic simulation session: environment + RNG + metrics."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.registry = MetricsRegistry()
+
+    def create_host(self, spec: Optional[HostSpec] = None) -> Host:
+        """Build a host wired to this context's env/RNG/metrics."""
+        return Host(self.env, spec=spec, streams=self.streams, registry=self.registry)
+
+    def run(self, until: Optional[float] = None):
+        """Advance the simulation (see :meth:`Environment.run`)."""
+        return self.env.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.env.now

@@ -1,0 +1,45 @@
+"""DoubleDecker's hypervisor cache: the paper's core contribution.
+
+Public surface:
+
+* :class:`DoubleDeckerCache` — the nesting-aware two-level weighted cache.
+* :class:`GlobalCache` / :class:`StaticPartitionCache` /
+  :class:`NullCache` — the baselines it is evaluated against.
+* :class:`CachePolicy` / :class:`StoreKind` / :class:`DDConfig` — policy
+  configuration (the paper's ``<T, W>`` tuples and host-admin settings).
+* :func:`get_victim` — Algorithm 1, usable standalone.
+"""
+
+from .baselines import GlobalCache, StaticPartitionCache
+from .cache_manager import DoubleDeckerCache
+from .config import CachePolicy, DDConfig, StoreKind
+from .interface import HypervisorCacheBase, NullCache
+from .optimizations import CompressionModel, DedupIndex, content_fingerprint
+from .pools import BlockKey, Pool, VMEntry
+from .radix import RadixTree
+from .stats import PoolStats, StoreStats
+from .victim import EvictionEntity, exceed_value, fallback_victim, get_victim
+
+__all__ = [
+    "BlockKey",
+    "CachePolicy",
+    "CompressionModel",
+    "DedupIndex",
+    "content_fingerprint",
+    "DDConfig",
+    "DoubleDeckerCache",
+    "EvictionEntity",
+    "GlobalCache",
+    "HypervisorCacheBase",
+    "NullCache",
+    "Pool",
+    "PoolStats",
+    "RadixTree",
+    "StaticPartitionCache",
+    "StoreKind",
+    "StoreStats",
+    "VMEntry",
+    "exceed_value",
+    "fallback_victim",
+    "get_victim",
+]

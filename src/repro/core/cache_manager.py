@@ -1,0 +1,523 @@
+"""The DoubleDecker hypervisor cache manager.
+
+This is the paper's contribution: an exclusive second-chance cache with
+
+* per-VM weighted partitioning (hypervisor-level policy),
+* per-container ``<T, W>`` partitioning within each VM's share
+  (guest-level policy, delivered over the cleancache/hypercall path),
+* two storage backends (memory, SSD) with hybrid and trickle-down modes,
+* *resource-conservative* enforcement: blocks are evicted only when a
+  store is full, using Algorithm 1 at the VM level and again at the
+  container level, in small batches (2 MB by default), FIFO within the
+  victim pool (the LRU-equivalent for an exclusive cache).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..simkernel import Environment
+from ..storage import MB, MemSpec, SSD
+from .config import CachePolicy, DDConfig, StoreKind
+from .interface import HypervisorCacheBase
+from .optimizations import DedupIndex, content_fingerprint
+from .policy import recompute_entitlements
+from .pools import BlockKey, Pool, VMEntry
+from .stats import PoolStats, StoreStats
+from .stores import MemBackend, SSDBackend, contiguous_runs
+from .victim import EvictionEntity, fallback_victim, get_victim
+
+__all__ = ["DoubleDeckerCache"]
+
+
+class DoubleDeckerCache(HypervisorCacheBase):
+    """Container-aware, two-level weighted hypervisor cache."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: DDConfig,
+        block_bytes: int,
+        ssd_device: Optional[SSD] = None,
+        mem_spec: Optional[MemSpec] = None,
+        name: str = "ddecker",
+    ) -> None:
+        if config.ssd_capacity_mb > 0 and ssd_device is None:
+            raise ValueError("SSD capacity configured but no SSD device supplied")
+        self.env = env
+        self.config = config
+        self.block_bytes = block_bytes
+        self.name = name
+
+        self.capacities: Dict[StoreKind, int] = {
+            StoreKind.MEMORY: int(config.mem_capacity_mb * MB) // block_bytes,
+            StoreKind.SSD: int(config.ssd_capacity_mb * MB) // block_bytes,
+        }
+        self.used: Dict[StoreKind, int] = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+
+        self.mem_backend = MemBackend(block_bytes, mem_spec)
+        self.ssd_backend: Optional[SSDBackend] = None
+        if ssd_device is not None:
+            self.ssd_backend = SSDBackend(
+                env, ssd_device, write_buffer_mb=config.ssd_write_buffer_mb
+            )
+
+        # -- memory-store optimizations (compression / dedup) ---------
+        # The memory store is accounted in sub-block *units* so compressed
+        # blocks charge their real footprint; without compression the
+        # granularity is 1 and units coincide with blocks.
+        self.compression = config.compression
+        self._mem_gran = (
+            self.compression.granularity if self.compression else 1
+        )
+        self._mem_units_capacity = (
+            self.capacities[StoreKind.MEMORY] * self._mem_gran
+        )
+        self._mem_units_used = 0
+        self._fingerprint = config.dedup_fingerprint or content_fingerprint
+        self.dedup: Optional[DedupIndex] = (
+            DedupIndex(self._fingerprint) if config.dedup else None
+        )
+
+        self.vms: Dict[int, VMEntry] = {}
+        self._pools: Dict[int, Pool] = {}  # global pool-id -> Pool
+        self._next_vm_id = 1
+        self._next_pool_id = 1
+        self._vm_entitlements: Dict[Tuple[int, StoreKind], int] = {}
+        self._eviction_batch = max(1, int(config.eviction_batch_mb * MB) // block_bytes)
+
+        self.store_counters: Dict[StoreKind, StoreStats] = {
+            StoreKind.MEMORY: StoreStats(kind="memory"),
+            StoreKind.SSD: StoreStats(kind="ssd"),
+        }
+
+    # ------------------------------------------------------------------
+    # VM lifecycle (hypervisor-level policy controller)
+    # ------------------------------------------------------------------
+
+    def register_vm(self, name: str, weight: float = 100.0) -> int:
+        vm_id = self._next_vm_id
+        self._next_vm_id += 1
+        self.vms[vm_id] = VMEntry(vm_id, name, weight)
+        self._recompute()
+        return vm_id
+
+    def unregister_vm(self, vm_id: int) -> None:
+        vm = self._require_vm(vm_id)
+        for pool_id in list(vm.pools):
+            self.destroy_pool(vm_id, pool_id)
+        del self.vms[vm_id]
+        self._recompute()
+
+    def set_vm_weight(self, vm_id: int, weight: float) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self._require_vm(vm_id).weight = weight
+        self._recompute()
+
+    def set_capacity(self, kind: StoreKind, capacity_mb: float) -> None:
+        """Dynamically resize a store (the paper grows the memory store
+        from 2 GB to 4 GB in the dynamic-VM experiment)."""
+        if capacity_mb < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_mb}")
+        if kind is StoreKind.SSD and self.ssd_backend is None and capacity_mb > 0:
+            raise ValueError("cannot size an SSD store without an SSD device")
+        self.capacities[kind] = int(capacity_mb * MB) // self.block_bytes
+        if kind is StoreKind.MEMORY:
+            self._mem_units_capacity = self.capacities[kind] * self._mem_gran
+        self._recompute()
+        self._shrink_to_fit(kind)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle (guest-level policy controller)
+    # ------------------------------------------------------------------
+
+    def create_pool(self, vm_id: int, name: str, policy: CachePolicy) -> int:
+        vm = self._require_vm(vm_id)
+        if policy.ssd_weight > 0 and self.ssd_backend is None:
+            raise ValueError(
+                f"pool {name!r} requests SSD but the cache has no SSD store"
+            )
+        pool_id = self._next_pool_id
+        self._next_pool_id += 1
+        pool = Pool(pool_id, vm_id, name, policy)
+        vm.pools[pool_id] = pool
+        self._pools[pool_id] = pool
+        self._recompute()
+        return pool_id
+
+    def destroy_pool(self, vm_id: int, pool_id: int) -> None:
+        pool = self._require_pool(vm_id, pool_id)
+        for inode, block in list(pool.fifos[StoreKind.MEMORY]):
+            self._mem_release(vm_id, inode, block)
+        counts = pool.drain()
+        for kind, count in counts.items():
+            self.used[kind] -= count
+        pool.active = False
+        del self.vms[vm_id].pools[pool_id]
+        del self._pools[pool_id]
+        self._recompute()
+
+    def set_policy(self, vm_id: int, pool_id: int, policy: CachePolicy) -> None:
+        pool = self._require_pool(vm_id, pool_id)
+        if policy.ssd_weight > 0 and self.ssd_backend is None:
+            raise ValueError("policy requests SSD but the cache has no SSD store")
+        old_policy = pool.policy
+        pool.policy = policy
+        self._recompute()
+        # A container switched away from a store keeps already-cached
+        # blocks there (they age out FIFO under pressure) unless it no
+        # longer uses the cache at all, in which case they are dropped.
+        if not policy.uses_cache and len(pool):
+            for inode, block in list(pool.fifos[StoreKind.MEMORY]):
+                self._mem_release(vm_id, inode, block)
+            counts = pool.drain()
+            for kind, count in counts.items():
+                self.used[kind] -= count
+        del old_policy
+
+    def pool_stats(self, vm_id: int, pool_id: int) -> PoolStats:
+        return self._require_pool(vm_id, pool_id).snapshot_stats()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def get_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
+        """Exclusive lookup; generator returning the set of found keys."""
+        pool = self._require_pool(vm_id, pool_id)
+        found: Set[BlockKey] = set()
+        mem_hits = 0
+        ssd_keys: List[BlockKey] = []
+        for key in keys:
+            pool.stats.gets += 1
+            kind = pool.lookup(*key)
+            if kind is None:
+                continue
+            pool.remove(*key)
+            self.used[kind] -= 1
+            if kind is StoreKind.MEMORY:
+                self._mem_release(vm_id, key[0], key[1])
+            pool.stats.get_hits += 1
+            found.add(key)
+            if kind is StoreKind.MEMORY:
+                mem_hits += 1
+            else:
+                ssd_keys.append(key)
+        if mem_hits:
+            cost = self.mem_backend.read_cost(mem_hits)
+            if self.compression is not None:
+                cost += self.compression.decompress_cost(mem_hits)
+            yield self.env.timeout(cost)
+        if ssd_keys:
+            assert self.ssd_backend is not None
+            yield from self.ssd_backend.read_runs(contiguous_runs(ssd_keys))
+        return found
+
+    def put_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
+        """Best-effort store of clean evicted blocks; returns #stored."""
+        pool = self._require_pool(vm_id, pool_id)
+        stored = 0
+        mem_stores = 0
+        for key in keys:
+            pool.stats.puts += 1
+            if not pool.policy.uses_cache:
+                self.store_counters[StoreKind.MEMORY].rejected_puts += 1
+                continue
+            existing = pool.lookup(*key)
+            if existing is not None:
+                # Duplicate put: drop the stale copy first so accounting
+                # (manager used / memory units) stays exact.
+                pool.remove(*key)
+                self.used[existing] -= 1
+                if existing is StoreKind.MEMORY:
+                    self._mem_release(vm_id, key[0], key[1])
+            kind = self._choose_store(pool)
+            if kind is None:
+                continue
+            if not self._make_room(kind, 1):
+                self.store_counters[kind].rejected_puts += 1
+                continue
+            if kind is StoreKind.SSD:
+                assert self.ssd_backend is not None
+                if not self.ssd_backend.enqueue_write(1):
+                    self.store_counters[kind].rejected_puts += 1
+                    continue
+            inode, block = key
+            pool.insert(inode, block, kind)
+            self.used[kind] += 1
+            if kind is StoreKind.MEMORY:
+                self._mem_charge(vm_id, inode, block)
+            pool.stats.puts_stored += 1
+            stored += 1
+            if kind is StoreKind.MEMORY:
+                mem_stores += 1
+        if mem_stores:
+            cost = self.mem_backend.write_cost(mem_stores)
+            if self.compression is not None:
+                cost += self.compression.compress_cost(mem_stores)
+            yield self.env.timeout(cost)
+        return stored
+
+    def flush_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]) -> int:
+        pool = self._require_pool(vm_id, pool_id)
+        dropped = 0
+        for inode, block in keys:
+            kind = pool.remove(inode, block)
+            if kind is not None:
+                self.used[kind] -= 1
+                if kind is StoreKind.MEMORY:
+                    self._mem_release(vm_id, inode, block)
+                dropped += 1
+            pool.stats.flushes += 1
+        return dropped
+
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+        pool = self._require_pool(vm_id, pool_id)
+        tree = pool.files.get(inode)
+        mem_blocks = (
+            [block for block, kind in tree.items() if kind is StoreKind.MEMORY]
+            if tree is not None else []
+        )
+        counts = pool.remove_inode(inode)
+        for block in mem_blocks:
+            self._mem_release(vm_id, inode, block)
+        dropped = 0
+        for kind, count in counts.items():
+            self.used[kind] -= count
+            dropped += count
+        pool.stats.flushes += dropped
+        return dropped
+
+    def migrate_objects(self, vm_id: int, from_pool: int, to_pool: int, inode: int) -> int:
+        """Re-home one file's cached blocks between two pools of one VM.
+
+        Only the key mapping changes; block data stays where it is, so the
+        operation is metadata-only (as in the paper's MIGRATE_OBJECT).
+        """
+        source = self._require_pool(vm_id, from_pool)
+        target = self._require_pool(vm_id, to_pool)
+        tree = source.files.get(inode)
+        if tree is None:
+            return 0
+        moves = list(tree.items())
+        for block, kind in moves:
+            source.remove(inode, block)
+            target.insert(inode, block, kind)
+        return len(moves)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def store_stats(self) -> Dict[StoreKind, StoreStats]:
+        for kind, counters in self.store_counters.items():
+            counters.capacity_blocks = self.capacities[kind]
+            counters.used_blocks = self.used[kind]
+        return self.store_counters
+
+    def vm_used_blocks(self, vm_id: int, kind: Optional[StoreKind] = None) -> int:
+        vm = self._require_vm(vm_id)
+        if kind is not None:
+            return vm.used(kind)
+        return vm.used(StoreKind.MEMORY) + vm.used(StoreKind.SSD)
+
+    def pool_used_mb(self, pool_id: int, kind: Optional[StoreKind] = None) -> float:
+        """Occupancy of a pool in MB (the quantity Figures 8-13 plot)."""
+        pool = self._pools.get(pool_id)
+        if pool is None:
+            return 0.0
+        if kind is not None:
+            blocks = pool.used[kind]
+        else:
+            blocks = len(pool)
+        return blocks * self.block_bytes / MB
+
+    def vm_used_mb(self, vm_id: int, kind: Optional[StoreKind] = None) -> float:
+        """Occupancy of a VM in MB."""
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            return 0.0
+        if kind is not None:
+            return vm.used(kind) * self.block_bytes / MB
+        return (vm.used(StoreKind.MEMORY) + vm.used(StoreKind.SSD)) * self.block_bytes / MB
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _units_for(self, fingerprint: int) -> int:
+        if self.compression is None:
+            return 1
+        return self.compression.charged_units(fingerprint)
+
+    def _mem_charge(self, vm_id: int, inode: int, block: int) -> None:
+        """Account a block entering the memory store (units/dedup)."""
+        fingerprint = self._fingerprint(vm_id, inode, block)
+        if self.dedup is not None:
+            if not self.dedup.insert(vm_id, inode, block):
+                return  # duplicate content: no new capacity consumed
+        self._mem_units_used += self._units_for(fingerprint)
+
+    def _mem_release(self, vm_id: int, inode: int, block: int) -> None:
+        """Account a block leaving the memory store."""
+        fingerprint = self._fingerprint(vm_id, inode, block)
+        if self.dedup is not None:
+            if not self.dedup.remove(vm_id, inode, block):
+                return  # other references keep the content resident
+        self._mem_units_used -= self._units_for(fingerprint)
+
+    @property
+    def mem_physical_mb(self) -> float:
+        """Real memory consumed by the store (after compression/dedup)."""
+        blocks = self._mem_units_used / self._mem_gran
+        return blocks * self.block_bytes / MB
+
+    def _require_vm(self, vm_id: int) -> VMEntry:
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"unknown vm_id {vm_id}")
+        return vm
+
+    def _require_pool(self, vm_id: int, pool_id: int) -> Pool:
+        vm = self._require_vm(vm_id)
+        pool = vm.pools.get(pool_id)
+        if pool is None:
+            raise KeyError(f"unknown pool_id {pool_id} in VM {vm_id}")
+        return pool
+
+    def _recompute(self) -> None:
+        self._vm_entitlements = recompute_entitlements(self.vms, self.capacities)
+
+    def _choose_store(self, pool: Pool) -> Optional[StoreKind]:
+        """Where a new put for ``pool`` should land (hybrid spills to SSD)."""
+        policy = pool.policy
+        if policy.is_hybrid:
+            if pool.used[StoreKind.MEMORY] < pool.entitlement[StoreKind.MEMORY]:
+                return StoreKind.MEMORY
+            return StoreKind.SSD
+        if policy.mem_weight > 0:
+            return StoreKind.MEMORY
+        if policy.ssd_weight > 0:
+            return StoreKind.SSD
+        return None
+
+    def _make_room(self, kind: StoreKind, need: int) -> bool:
+        """Ensure ``need`` free blocks in store ``kind``; False on failure.
+
+        The memory store is checked in compressed units (worst-case
+        charge per incoming block) so compression genuinely increases the
+        number of blocks that fit."""
+        capacity = self.capacities[kind]
+        if capacity <= 0:
+            return False
+        guard = 0
+        if kind is StoreKind.MEMORY:
+            need_units = need * self._mem_gran
+            while self._mem_units_used + need_units > self._mem_units_capacity:
+                if not self._evict_round(kind):
+                    return False
+                guard += 1
+                if guard > capacity:  # pragma: no cover - safety net
+                    return False
+            return True
+        while self.used[kind] + need > capacity:
+            if not self._evict_round(kind):
+                return False
+            guard += 1
+            if guard > capacity:  # pragma: no cover - safety net
+                return False
+        return True
+
+    def _select_victim(self, entities, batch):
+        """Apply the configured victim policy (Algorithm 1 by default)."""
+        if not entities:
+            return None
+        if self.config.victim_policy == "max_used":
+            return fallback_victim(entities)
+        victim = get_victim(entities, batch)
+        if victim is None:
+            victim = fallback_victim(entities)
+        return victim
+
+    def _evict_round(self, kind: StoreKind) -> bool:
+        """One Algorithm-1 round: pick victim VM, then pool, evict a batch."""
+        batch = self._eviction_batch
+        vm_entities = [
+            EvictionEntity(
+                ref=vm,
+                entitlement=self._vm_entitlements.get((vm.vm_id, kind), 0),
+                used=vm.used(kind),
+                weightage=vm.weight,
+            )
+            for vm in self.vms.values()
+            if vm.pools_on(kind)
+        ]
+        victim_vm = self._select_victim(vm_entities, batch)
+        if victim_vm is None:
+            return False
+
+        vm: VMEntry = victim_vm.ref
+        pool_entities = [
+            EvictionEntity(
+                ref=pool,
+                entitlement=pool.entitlement[kind],
+                used=pool.used[kind],
+                weightage=pool.policy.weight_for(kind),
+            )
+            for pool in vm.pools_on(kind)
+        ]
+        victim_pool = self._select_victim(pool_entities, batch)
+        if victim_pool is None:
+            return False
+
+        pool: Pool = victim_pool.ref
+        evicted = 0
+        trickle: List[BlockKey] = []
+        while evicted < batch and pool.used[kind] > 0:
+            key = pool.pop_oldest(kind)
+            if key is None:
+                break
+            self.used[kind] -= 1
+            if kind is StoreKind.MEMORY:
+                self._mem_release(pool.vm_id, key[0], key[1])
+            evicted += 1
+            if (
+                kind is StoreKind.MEMORY
+                and self.config.trickle_down
+                and self.ssd_backend is not None
+                and self.capacities[StoreKind.SSD] > 0
+            ):
+                trickle.append(key)
+        if evicted:
+            pool.stats.evictions += evicted
+            counters = self.store_counters[kind]
+            counters.evictions += evicted
+            counters.eviction_rounds += 1
+            if trickle:
+                self._trickle_down(pool, trickle)
+            return True
+        return False
+
+    def _trickle_down(self, pool: Pool, keys: List[BlockKey]) -> None:
+        """Third-chance path: re-home memory-evicted blocks on the SSD."""
+        assert self.ssd_backend is not None
+        for key in keys:
+            if not self._make_room(StoreKind.SSD, 1):
+                break
+            if not self.ssd_backend.enqueue_write(1):
+                break
+            inode, block = key
+            pool.insert(inode, block, StoreKind.SSD)
+            self.used[StoreKind.SSD] += 1
+
+    def _shrink_to_fit(self, kind: StoreKind) -> None:
+        """After a capacity reduction, evict until within the new limit."""
+        if kind is StoreKind.MEMORY:
+            while self._mem_units_used > self._mem_units_capacity:
+                if not self._evict_round(kind):
+                    break
+            return
+        while self.used[kind] > self.capacities[kind]:
+            if not self._evict_round(kind):
+                break

@@ -1,0 +1,188 @@
+"""Cache pools: the per-container object namespaces of the hypervisor cache.
+
+Each application container gets a *pool* (created via the ``CREATE_CGROUP``
+event).  A pool indexes its cached blocks with the paper's structure — a
+per-file hash table of radix trees — and additionally keeps one FIFO per
+store backend, which is the eviction order (FIFO is the LRU-equivalent for
+an exclusive cache: a hit removes the block, so residence order is
+insertion order).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .config import CachePolicy, StoreKind
+from .stats import PoolStats
+
+__all__ = ["Pool", "VMEntry", "BlockKey"]
+
+#: A cached object's identity within a pool: (inode number, block offset).
+BlockKey = Tuple[int, int]
+
+
+class Pool:
+    """One container's slice of the hypervisor cache."""
+
+    __slots__ = ("pool_id", "vm_id", "name", "policy", "files", "fifos",
+                 "used", "entitlement", "stats", "active")
+
+    def __init__(self, pool_id: int, vm_id: int, name: str, policy: CachePolicy) -> None:
+        from .radix import RadixTree  # local import to avoid cycle at module load
+
+        self.pool_id = pool_id
+        self.vm_id = vm_id
+        self.name = name
+        self.policy = policy
+        #: inode -> RadixTree(block offset -> StoreKind)
+        self.files: Dict[int, "RadixTree"] = {}
+        #: StoreKind -> FIFO of BlockKey (insertion-ordered)
+        self.fifos: Dict[StoreKind, "OrderedDict[BlockKey, None]"] = {
+            StoreKind.MEMORY: OrderedDict(),
+            StoreKind.SSD: OrderedDict(),
+        }
+        #: StoreKind -> blocks currently cached
+        self.used: Dict[StoreKind, int] = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        #: StoreKind -> current entitlement in blocks (set by the policy module)
+        self.entitlement: Dict[StoreKind, int] = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        self.stats = PoolStats(pool_id=pool_id, vm_id=vm_id, name=name)
+        #: False once destroyed; guards against use-after-destroy.
+        self.active = True
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, inode: int, block: int) -> Optional[StoreKind]:
+        """Where (if anywhere) the block is cached."""
+        tree = self.files.get(inode)
+        if tree is None:
+            return None
+        return tree.get(block)
+
+    def __len__(self) -> int:
+        return self.used[StoreKind.MEMORY] + self.used[StoreKind.SSD]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, inode: int, block: int, kind: StoreKind) -> None:
+        """Add a block to store ``kind`` (caller enforces capacity)."""
+        from .radix import RadixTree
+
+        tree = self.files.get(inode)
+        if tree is None:
+            tree = RadixTree()
+            self.files[inode] = tree
+        previous = tree.get(block)
+        if previous is not None:
+            # Replacing an existing copy: drop the old placement first.
+            del self.fifos[previous][(inode, block)]
+            self.used[previous] -= 1
+        tree.insert(block, kind)
+        self.fifos[kind][(inode, block)] = None
+        self.used[kind] += 1
+
+    def remove(self, inode: int, block: int) -> Optional[StoreKind]:
+        """Remove a block; returns the store it was in, or ``None``."""
+        tree = self.files.get(inode)
+        if tree is None:
+            return None
+        kind = tree.remove(block)
+        if kind is None:
+            return None
+        if not tree:
+            del self.files[inode]
+        del self.fifos[kind][(inode, block)]
+        self.used[kind] -= 1
+        return kind
+
+    def remove_inode(self, inode: int) -> Dict[StoreKind, int]:
+        """Drop every cached block of ``inode``; returns per-store counts."""
+        tree = self.files.pop(inode, None)
+        dropped = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        if tree is None:
+            return dropped
+        for block, kind in tree.items():
+            del self.fifos[kind][(inode, block)]
+            self.used[kind] -= 1
+            dropped[kind] += 1
+        return dropped
+
+    def pop_oldest(self, kind: StoreKind) -> Optional[BlockKey]:
+        """Evict the FIFO head of store ``kind``; returns its key."""
+        fifo = self.fifos[kind]
+        if not fifo:
+            return None
+        key, _ = fifo.popitem(last=False)
+        inode, block = key
+        tree = self.files[inode]
+        tree.remove(block)
+        if not tree:
+            del self.files[inode]
+        self.used[kind] -= 1
+        return key
+
+    def drain(self) -> Dict[StoreKind, int]:
+        """Remove everything (pool destruction); returns per-store counts."""
+        counts = {kind: self.used[kind] for kind in self.used}
+        self.files.clear()
+        for fifo in self.fifos.values():
+            fifo.clear()
+        for kind in self.used:
+            self.used[kind] = 0
+        return counts
+
+    def iter_keys(self, kind: Optional[StoreKind] = None) -> Iterator[BlockKey]:
+        """All cached keys, oldest-first, optionally limited to one store."""
+        kinds = [kind] if kind is not None else list(self.fifos)
+        for k in kinds:
+            yield from self.fifos[k]
+
+    # -- snapshot ----------------------------------------------------------------
+
+    def snapshot_stats(self) -> PoolStats:
+        """A copy of the pool's stats with live usage/entitlement filled in."""
+        stats = PoolStats(
+            pool_id=self.pool_id,
+            vm_id=self.vm_id,
+            name=self.name,
+            mem_used_blocks=self.used[StoreKind.MEMORY],
+            ssd_used_blocks=self.used[StoreKind.SSD],
+            mem_entitlement_blocks=self.entitlement[StoreKind.MEMORY],
+            ssd_entitlement_blocks=self.entitlement[StoreKind.SSD],
+            gets=self.stats.gets,
+            get_hits=self.stats.get_hits,
+            puts=self.stats.puts,
+            puts_stored=self.stats.puts_stored,
+            flushes=self.stats.flushes,
+            evictions=self.stats.evictions,
+        )
+        return stats
+
+
+class VMEntry:
+    """A virtual machine registered with the hypervisor cache."""
+
+    __slots__ = ("vm_id", "name", "weight", "pools")
+
+    def __init__(self, vm_id: int, name: str, weight: float) -> None:
+        if weight < 0:
+            raise ValueError(f"VM weight must be non-negative, got {weight}")
+        self.vm_id = vm_id
+        self.name = name
+        #: Relative share of every store among VMs (hypervisor-level policy).
+        self.weight = weight
+        self.pools: Dict[int, Pool] = {}
+
+    def used(self, kind: StoreKind) -> int:
+        """Blocks this VM's pools hold in store ``kind``."""
+        return sum(pool.used[kind] for pool in self.pools.values())
+
+    def entitlement(self, kind: StoreKind) -> int:
+        """Blocks this VM is entitled to in store ``kind``."""
+        return sum(pool.entitlement[kind] for pool in self.pools.values())
+
+    def pools_on(self, kind: StoreKind) -> List[Pool]:
+        """Pools of this VM configured to use store ``kind``."""
+        return [
+            pool for pool in self.pools.values() if pool.policy.weight_for(kind) > 0
+        ]

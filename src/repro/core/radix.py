@@ -1,0 +1,177 @@
+"""A fixed-fanout radix tree over block offsets.
+
+This mirrors the indexing structure DoubleDecker's hypervisor store uses
+("per-pool file object hash table, file block radix-tree"): each file's
+cached blocks live in one of these trees, keyed by block offset.
+
+Fanout is 64 (6 bits per level); the tree grows in height lazily so small
+files pay one node and multi-gigabyte files a handful of levels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["RadixTree"]
+
+_BITS = 6
+_FANOUT = 1 << _BITS
+_MASK = _FANOUT - 1
+
+
+class _Node:
+    __slots__ = ("slots", "count")
+
+    def __init__(self) -> None:
+        self.slots: List[Any] = [None] * _FANOUT
+        self.count = 0  # number of non-None slots
+
+
+class RadixTree:
+    """Maps non-negative integer keys (block offsets) to values."""
+
+    __slots__ = ("_root", "_height", "_size")
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._height = 0  # number of levels; 0 means empty tree
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _required_height(key: int) -> int:
+        height = 1
+        key >>= _BITS
+        while key:
+            height += 1
+            key >>= _BITS
+        return height
+
+    def _grow_to(self, height: int) -> None:
+        if self._root is None:
+            self._root = _Node()
+            self._height = height
+            return
+        while self._height < height:
+            node = _Node()
+            node.slots[0] = self._root
+            node.count = 1
+            self._root = node
+            self._height += 1
+
+    # -- mapping operations ---------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Set ``key`` to ``value`` (replacing any existing value)."""
+        if key < 0:
+            raise ValueError(f"keys must be non-negative, got {key}")
+        if value is None:
+            raise ValueError("None values are reserved for empty slots")
+        self._grow_to(self._required_height(key))
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            idx = (key >> (level * _BITS)) & _MASK
+            child = node.slots[idx]
+            if child is None:
+                child = _Node()
+                node.slots[idx] = child
+                node.count += 1
+            node = child
+        idx = key & _MASK
+        if node.slots[idx] is None:
+            node.count += 1
+            self._size += 1
+        node.slots[idx] = value
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value at ``key``, or ``default`` if absent."""
+        if key < 0 or self._root is None:
+            return default
+        if self._required_height(key) > self._height:
+            return default
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            node = node.slots[(key >> (level * _BITS)) & _MASK]
+            if node is None:
+                return default
+        value = node.slots[key & _MASK]
+        return default if value is None else value
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def remove(self, key: int) -> Any:
+        """Delete ``key`` and return its value (``None`` if absent).
+
+        Empty interior nodes are pruned so long-lived trees don't leak.
+        """
+        if key < 0 or self._root is None:
+            return None
+        if self._required_height(key) > self._height:
+            return None
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            idx = (key >> (level * _BITS)) & _MASK
+            child = node.slots[idx]
+            if child is None:
+                return None
+            path.append((node, idx))
+            node = child
+        idx = key & _MASK
+        value = node.slots[idx]
+        if value is None:
+            return None
+        node.slots[idx] = None
+        node.count -= 1
+        self._size -= 1
+        # Prune now-empty nodes bottom-up.
+        child = node
+        for parent, pidx in reversed(path):
+            if child.count:
+                break
+            parent.slots[pidx] = None
+            parent.count -= 1
+            child = parent
+        if self._size == 0:
+            self._root = None
+            self._height = 0
+        return value
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        if self._root is None:
+            return
+        stack: List[Tuple[_Node, int, int]] = [(self._root, self._height - 1, 0)]
+        # Iterative DFS keeping the key prefix accumulated so far.
+        while stack:
+            node, level, prefix = stack.pop()
+            if level == 0:
+                for idx in range(_FANOUT):
+                    value = node.slots[idx]
+                    if value is not None:
+                        yield (prefix | idx, value)
+            else:
+                # Push children in reverse so ascending order pops first.
+                for idx in range(_FANOUT - 1, -1, -1):
+                    child = node.slots[idx]
+                    if child is not None:
+                        stack.append(
+                            (child, level - 1, prefix | (idx << (level * _BITS)))
+                        )
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self.items():
+            yield key
+
+    def clear(self) -> None:
+        self._root = None
+        self._height = 0
+        self._size = 0

@@ -1,0 +1,62 @@
+"""Statistics records returned by the cache's ``GET_STATS`` operation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PoolStats", "StoreStats"]
+
+
+@dataclass
+class PoolStats:
+    """Per-pool (per-container) cache statistics.
+
+    This is the payload of the paper's ``GET_STATS`` cleancache extension:
+    it gives the in-VM policy controller visibility into each container's
+    hypervisor-cache allocation and usage.
+    """
+
+    pool_id: int
+    vm_id: int
+    name: str
+    mem_used_blocks: int = 0
+    ssd_used_blocks: int = 0
+    mem_entitlement_blocks: int = 0
+    ssd_entitlement_blocks: int = 0
+    gets: int = 0
+    get_hits: int = 0
+    puts: int = 0
+    puts_stored: int = 0
+    flushes: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served by the cache."""
+        return self.get_hits / self.gets if self.gets else 0.0
+
+    @property
+    def lookup_to_store_ratio(self) -> float:
+        """Table 2's "lookup-to-store ratio": hits recovered per stored block.
+
+        Expressed as a percentage of stored blocks that were later looked
+        up successfully — a measure of how useful the pool's puts were.
+        """
+        return 100.0 * self.get_hits / self.puts_stored if self.puts_stored else 0.0
+
+
+@dataclass
+class StoreStats:
+    """Whole-store statistics (one per backend kind)."""
+
+    kind: str
+    capacity_blocks: int = 0
+    used_blocks: int = 0
+    evictions: int = 0
+    eviction_rounds: int = 0
+    rejected_puts: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_blocks / self.capacity_blocks if self.capacity_blocks else 0.0

@@ -1,0 +1,141 @@
+"""Storage backends for the hypervisor cache.
+
+The *metadata* of cached blocks lives in pools; backends model the cost of
+moving block *data*:
+
+* :class:`MemBackend` — pure latency arithmetic (memcpy costs).
+* :class:`SSDBackend` — a queued :class:`~repro.storage.device.SSD` with
+  synchronous reads (the guest waits for a ``get``) and asynchronous,
+  bounded-buffer writes (``put`` returns once the block is queued; if the
+  buffer is full the put is rejected — cleancache puts are best-effort).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..simkernel import Environment, Event
+from ..storage import MB, MemSpec, SSD
+from .config import StoreKind
+from .pools import BlockKey
+
+__all__ = ["MemBackend", "SSDBackend", "contiguous_runs"]
+
+
+def contiguous_runs(keys: Sequence[BlockKey]) -> List[Tuple[int, int]]:
+    """Merge sorted block keys into ``(start_block, length)`` runs.
+
+    Runs never span files; used to turn per-block SSD hits into realistic
+    multi-block device requests.
+    """
+    runs: List[Tuple[int, int]] = []
+    ordered = sorted(keys)
+    run_start: Optional[Tuple[int, int]] = None
+    run_len = 0
+    for inode, block in ordered:
+        if (
+            run_start is not None
+            and inode == run_start[0]
+            and block == run_start[1] + run_len
+        ):
+            run_len += 1
+        else:
+            if run_start is not None:
+                runs.append((run_start[1], run_len))
+            run_start = (inode, block)
+            run_len = 1
+    if run_start is not None:
+        runs.append((run_start[1], run_len))
+    return runs
+
+
+class MemBackend:
+    """Memory store: costs are memcpy times, no queueing."""
+
+    kind = StoreKind.MEMORY
+
+    def __init__(self, block_bytes: int, spec: Optional[MemSpec] = None) -> None:
+        self.block_bytes = block_bytes
+        self.spec = spec or MemSpec()
+
+    def read_cost(self, nblocks: int) -> float:
+        """Seconds to copy ``nblocks`` out of the store."""
+        if nblocks <= 0:
+            return 0.0
+        return nblocks * self.spec.copy_time(self.block_bytes)
+
+    def write_cost(self, nblocks: int) -> float:
+        """Seconds to copy ``nblocks`` into the store."""
+        if nblocks <= 0:
+            return 0.0
+        return nblocks * self.spec.copy_time(self.block_bytes)
+
+
+class SSDBackend:
+    """SSD store: sync reads through the device, async buffered writes."""
+
+    kind = StoreKind.SSD
+
+    def __init__(
+        self,
+        env: Environment,
+        device: SSD,
+        write_buffer_mb: float = 64.0,
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.block_bytes = device.block_bytes
+        buffer_bytes = max(self.block_bytes, int(write_buffer_mb * MB))
+        self._buffer_capacity_blocks = buffer_bytes // self.block_bytes
+        self._pending: Deque[int] = deque()
+        self._pending_blocks = 0
+        self._wakeup: Optional[Event] = None
+        self._writer = env.process(self._drain(), name="ssd-store-writer")
+        #: cumulative counters
+        self.writes_enqueued = 0
+        self.writes_rejected = 0
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_runs(self, runs: Sequence[Tuple[int, int]]):
+        """Read each ``(start_block, length)`` run; yields until all done."""
+        for start, length in runs:
+            yield from self.device.read(start, length)
+
+    # -- async writes -------------------------------------------------------------
+
+    @property
+    def pending_blocks(self) -> int:
+        """Blocks sitting in the write buffer, not yet on flash."""
+        return self._pending_blocks
+
+    def enqueue_write(self, nblocks: int) -> bool:
+        """Queue ``nblocks`` for background writing; False if buffer full."""
+        if nblocks <= 0:
+            return True
+        if self._pending_blocks + nblocks > self._buffer_capacity_blocks:
+            self.writes_rejected += nblocks
+            return False
+        self._pending.append(nblocks)
+        self._pending_blocks += nblocks
+        self.writes_enqueued += nblocks
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return True
+
+    def _drain(self):
+        while True:
+            if not self._pending:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            # Coalesce queued writes into one device request (up to 2 MB),
+            # mimicking a write-back thread batching dirty cache fills.
+            batch = 0
+            limit = max(1, (2 * MB) // self.block_bytes)
+            while self._pending and batch < limit:
+                batch += self._pending.popleft()
+            yield from self.device.write(0, batch)
+            self._pending_blocks -= batch

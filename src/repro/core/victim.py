@@ -1,0 +1,99 @@
+"""Victim selection — a faithful implementation of the paper's Algorithm 1.
+
+When a store is full, DoubleDecker selects *one* victim entity (first a VM,
+then a container within that VM) and evicts a small batch from it.  The
+selection redistributes the under-used entitlements among over-users in
+proportion to their weights, then picks the entity with the largest
+*exceed* value:
+
+    exceed(E, b, cw) = E.used + EvictionSize
+                       - (E.entitlement + b * E.weightage / cw)
+
+where ``b`` is the sum of under-utilized entitlement slack and ``cw`` the
+total weight of the over-users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["EvictionEntity", "get_victim", "exceed_value", "fallback_victim"]
+
+
+@dataclass
+class EvictionEntity:
+    """Uniform view of a VM or a container for victim selection.
+
+    ``ref`` carries the underlying object (a :class:`~repro.core.pools.VMEntry`
+    or :class:`~repro.core.pools.Pool`); the algorithm only reads the three
+    scalar fields.
+    """
+
+    ref: Any
+    entitlement: int
+    used: int
+    weightage: float
+
+
+def exceed_value(
+    entity: EvictionEntity,
+    eviction_size: int,
+    underused_buffer: int,
+    cumulative_weight: float,
+) -> float:
+    """The paper's ``exceed(E, b, cw)`` — how far past its *effective*
+    entitlement (base entitlement plus redistributed slack) this entity
+    would be after the pending store of ``eviction_size`` blocks."""
+    if cumulative_weight > 0:
+        redistributed = underused_buffer * entity.weightage / cumulative_weight
+    else:
+        redistributed = 0.0
+    return entity.used + eviction_size - (entity.entitlement + redistributed)
+
+
+def get_victim(
+    entities: Sequence[EvictionEntity], eviction_size: int
+) -> Optional[EvictionEntity]:
+    """Select the eviction victim among ``entities`` (Algorithm 1).
+
+    Returns ``None`` when no entity is over-used *and* holding anything —
+    callers fall back to the largest holder (which can only happen with
+    degenerate entitlement configurations).
+    """
+    if eviction_size <= 0:
+        raise ValueError(f"eviction_size must be positive, got {eviction_size}")
+
+    overused: List[EvictionEntity] = []
+    cumulative_weight = 0.0
+    underused_buffer = 0
+    for entity in entities:
+        if entity.entitlement < entity.used + eviction_size:
+            overused.append(entity)
+            cumulative_weight += entity.weightage
+        if entity.entitlement - entity.used > 2 * eviction_size:
+            underused_buffer += entity.entitlement - entity.used
+
+    # Only entities that actually hold blocks can yield evictions.
+    candidates = [entity for entity in overused if entity.used > 0]
+    if not candidates:
+        return None
+
+    best = candidates[0]
+    best_exceed = exceed_value(best, eviction_size, underused_buffer, cumulative_weight)
+    for entity in candidates[1:]:
+        value = exceed_value(entity, eviction_size, underused_buffer, cumulative_weight)
+        if value > best_exceed:
+            best = entity
+            best_exceed = value
+    return best
+
+
+def fallback_victim(
+    entities: Sequence[EvictionEntity],
+) -> Optional[EvictionEntity]:
+    """Largest holder — used when Algorithm 1 finds no over-user with data."""
+    holders = [entity for entity in entities if entity.used > 0]
+    if not holders:
+        return None
+    return max(holders, key=lambda entity: entity.used)

@@ -1,0 +1,80 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments motivation --scale 0.25
+    python -m repro.experiments all --scale 0.25 --out results/
+
+Each experiment prints the same rows/series its paper table or figure
+reports (see DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DoubleDecker paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment name, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset/cache scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--no-plots", action="store_true",
+                        help="omit ASCII occupancy plots")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to also write summaries into")
+    parser.add_argument("--json", action="store_true",
+                        help="with --out, also write machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for name, cls in ALL_EXPERIMENTS.items():
+            print(f"  {name:20s} {cls.exp_id:18s} {cls.description.strip()[:60]}")
+        return 0
+
+    if args.experiment == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.experiment in ALL_EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; use --list",
+              file=sys.stderr)
+        return 2
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        cls = ALL_EXPERIMENTS[name]
+        print(f"\n### running {name} ({cls.exp_id}) at scale {args.scale} ###")
+        started = time.time()
+        result = cls(scale=args.scale, seed=args.seed).run()
+        elapsed = time.time() - started
+        summary = result.summary(plots=not args.no_plots)
+        print(summary)
+        print(f"(wall time {elapsed:.1f}s)")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(summary + "\n")
+            if args.json:
+                from ..analysis import result_to_json
+
+                (args.out / f"{name}.json").write_text(result_to_json(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

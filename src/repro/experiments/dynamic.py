@@ -1,0 +1,208 @@
+"""FIG-12 / FIG-13 — dynamic cache management (§5.3).
+
+Two experiments demonstrate that DoubleDecker reacts to *live*
+re-provisioning at both nesting levels:
+
+* **Containers (Fig 12):** two containers (60/40) are joined at 900 s by a
+  videoserver container (weights become 50/30/20); at 1800 s the video
+  container is switched to the SSD store and the memory weights reset to
+  60/40.
+* **VMs (Fig 13):** four VMs boot 600 s apart: VM1 alone (weight 100),
+  VM2 joins (60/40), VM3 is SSD-only (does not disturb the memory split),
+  VM4 joins as the memory store is grown from 2 GB to 4 GB with weights
+  40/35/25.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..context import SimContext
+from ..core import CachePolicy, DDConfig, StoreKind
+from ..hypervisor import HostSpec
+from ..workloads import (
+    VideoserverWorkload,
+    WebproxyWorkload,
+    WebserverWorkload,
+)
+from .runner import Experiment, ExperimentResult, OccupancySampler
+
+__all__ = ["DynamicContainersExperiment", "DynamicVMsExperiment"]
+
+
+class DynamicContainersExperiment(Experiment):
+    """Fig 12: weight changes and a store switch, within one VM."""
+
+    exp_id = "FIG-12"
+    name = "dynamic_containers"
+    description = (
+        "Live container-level policy changes: a third container joins at "
+        "T/3 (weights 60/40 -> 50/30/20), then moves to the SSD store at "
+        "2T/3 (memory weights reset to 60/40)."
+    )
+
+    def __init__(self, scale: float = 1.0, seed: int = 42,
+                 phase_s: float = None) -> None:
+        super().__init__(scale, seed)
+        #: Length of each of the three phases (paper: 900 s).
+        self.phase_s = phase_s if phase_s is not None else self.secs(900.0)
+
+    def run(self) -> ExperimentResult:
+        result = ExperimentResult(self.name, self.description)
+        ctx = SimContext(seed=self.seed)
+        host = ctx.create_host(HostSpec())
+        cache = host.install_doubledecker(DDConfig(
+            mem_capacity_mb=self.mb(1024), ssd_capacity_mb=self.mb(245760)
+        ))
+        vm = host.create_vm("vm1", memory_mb=self.mb(6144), vcpus=8)
+
+        c1 = vm.create_container("container1", self.mb(1024), CachePolicy.memory(60))
+        c2 = vm.create_container("container2", self.mb(1024), CachePolicy.memory(40))
+        w1 = WebserverWorkload(nfiles=self.count(14000), mean_size_kb=128.0,
+                               threads=2, cpu_think_ms=3.0)
+        w2 = WebproxyWorkload(nfiles=self.count(14000), mean_size_kb=64.0, threads=2)
+        w1.start(c1, ctx.streams)
+        w2.start(c2, ctx.streams)
+
+        sampler = OccupancySampler(ctx, interval_s=max(1.0, self.phase_s / 30))
+        sampler.watch_pool(cache, "container1", c1.pool_id, StoreKind.MEMORY)
+        sampler.watch_pool(cache, "container2", c2.pool_id, StoreKind.MEMORY)
+        sampler.start()
+        state: Dict[str, object] = {}
+
+        def orchestrator(env):
+            # Phase 2: the videoserver container boots; weights 50/30/20.
+            yield env.timeout(self.phase_s)
+            c3 = vm.create_container("container3", self.mb(1024),
+                                     CachePolicy.memory(20))
+            w3 = VideoserverWorkload(nvideos=12, video_mb=self.mb(256.0),
+                                     threads=2, stream_pace_ms=2.0)
+            w3.start(c3, ctx.streams)
+            state["c3"] = c3
+            sampler.watch_pool(cache, "container3-mem", c3.pool_id,
+                               StoreKind.MEMORY)
+            sampler.watch_pool(cache, "container3-ssd", c3.pool_id,
+                               StoreKind.SSD)
+            c1.set_cache_policy(CachePolicy.memory(50))
+            c2.set_cache_policy(CachePolicy.memory(30))
+            # Phase 3: video moves to the SSD store; memory back to 60/40.
+            yield env.timeout(self.phase_s)
+            c3.set_cache_policy(CachePolicy.ssd(100))
+            c1.set_cache_policy(CachePolicy.memory(60))
+            c2.set_cache_policy(CachePolicy.memory(40))
+
+        ctx.env.process(orchestrator(ctx.env), name="fig12-orchestrator")
+        ctx.run(until=3 * self.phase_s)
+
+        for label, series in sampler.series.items():
+            result.add_series(f"fig12/{label}", series)
+
+        # Phase means capture the redistribution the paper narrates.
+        rows: List[List[object]] = []
+        for label, series in sampler.series.items():
+            rows.append([
+                label,
+                round(series.mean(start=0.5 * self.phase_s, end=self.phase_s)),
+                round(series.mean(start=1.5 * self.phase_s, end=2 * self.phase_s)),
+                round(series.mean(start=2.5 * self.phase_s, end=3 * self.phase_s)),
+            ])
+        result.add_table(
+            "fig12: per-phase mean cache occupancy (MB)",
+            ["container", "phase1 (2 ctrs)", "phase2 (3 ctrs)", "phase3 (video->SSD)"],
+            rows,
+        )
+        result.note(
+            "Paper shape: ~600/400 MB split; then ~500/300/200 when the "
+            "video container joins; then back to 60:40 with the video "
+            "pool living on the SSD."
+        )
+        return result
+
+
+class DynamicVMsExperiment(Experiment):
+    """Fig 13: staggered VM boots, an SSD-only VM, and a live cache grow."""
+
+    exp_id = "FIG-13"
+    name = "dynamic_vms"
+    description = (
+        "VM-level dynamics: VM1 (100) -> +VM2 (60/40) -> +VM3 (SSD-only, "
+        "memory split undisturbed) -> +VM4 with the memory store grown "
+        "2 GB -> 4 GB and weights 40/35/25."
+    )
+
+    def __init__(self, scale: float = 1.0, seed: int = 42,
+                 phase_s: float = None) -> None:
+        super().__init__(scale, seed)
+        #: Interval between VM boots (paper: 600 s).
+        self.phase_s = phase_s if phase_s is not None else self.secs(600.0)
+
+    def _launch_vm(self, ctx, host, cache, sampler, name: str, weight: float,
+                   policy: CachePolicy):
+        vm = host.create_vm(name, memory_mb=self.mb(4096), vcpus=4,
+                            cache_weight=weight)
+        container = vm.create_container(f"{name}-video", self.mb(1024), policy)
+        workload = VideoserverWorkload(
+            name=f"{name}-video", nvideos=12, video_mb=self.mb(256.0),
+            threads=2, stream_pace_ms=2.0,
+        )
+        workload.start(container, ctx.streams)
+        kind = (StoreKind.SSD if policy.ssd_weight > 0 else StoreKind.MEMORY)
+        sampler.watch_vm(cache, name, vm.vm_id, kind)
+        return vm
+
+    def run(self) -> ExperimentResult:
+        result = ExperimentResult(self.name, self.description)
+        ctx = SimContext(seed=self.seed)
+        host = ctx.create_host(HostSpec())
+        cache = host.install_doubledecker(DDConfig(
+            mem_capacity_mb=self.mb(2048), ssd_capacity_mb=self.mb(245760)
+        ))
+        sampler = OccupancySampler(ctx, interval_s=max(1.0, self.phase_s / 20))
+        sampler.start()
+        vms: Dict[str, object] = {}
+
+        vms["vm1"] = self._launch_vm(ctx, host, cache, sampler, "vm1", 100,
+                                     CachePolicy.memory(100))
+
+        def orchestrator(env):
+            yield env.timeout(self.phase_s)
+            vms["vm2"] = self._launch_vm(ctx, host, cache, sampler, "vm2", 40,
+                                         CachePolicy.memory(100))
+            host.set_vm_cache_weight(vms["vm1"], 60)
+            yield env.timeout(self.phase_s)
+            # VM3 is SSD-only: the memory split must stay 60/40.
+            vms["vm3"] = self._launch_vm(ctx, host, cache, sampler, "vm3", 100,
+                                         CachePolicy.ssd(100))
+            yield env.timeout(self.phase_s)
+            vms["vm4"] = self._launch_vm(ctx, host, cache, sampler, "vm4", 25,
+                                         CachePolicy.memory(100))
+            cache.set_capacity(StoreKind.MEMORY, self.mb(4096))
+            host.set_vm_cache_weight(vms["vm1"], 40)
+            host.set_vm_cache_weight(vms["vm2"], 35)
+
+        ctx.env.process(orchestrator(ctx.env), name="fig13-orchestrator")
+        ctx.run(until=4 * self.phase_s)
+
+        for label, series in sampler.series.items():
+            result.add_series(f"fig13/{label}", series)
+
+        rows: List[List[object]] = []
+        for label, series in sampler.series.items():
+            row: List[object] = [label]
+            for phase in range(4):
+                start = (phase + 0.5) * self.phase_s
+                end = (phase + 1) * self.phase_s
+                row.append(round(series.mean(start=start, end=end)))
+            rows.append(row)
+        result.add_table(
+            "fig13: per-phase mean cache occupancy (MB)",
+            ["vm", "phase1 (VM1)", "phase2 (+VM2)", "phase3 (+VM3 SSD)",
+             "phase4 (+VM4, 4GB)"],
+            rows,
+        )
+        result.note(
+            "Paper shape: VM1 fills 2 GB alone; 60/40 (~1200/800) with VM2; "
+            "VM3 on SSD leaves that split untouched; after the grow to 4 GB "
+            "and 40/35/25 weights: ~1600/1400/1000."
+        )
+        return result

@@ -1,0 +1,389 @@
+"""Declarative scenario builder.
+
+Experiments in this repository are hand-written classes; users composing
+their *own* derivative-cloud studies shouldn't need that.  A
+:class:`Scenario` describes a host, its hypervisor cache, VMs, containers,
+workloads, and timed policy events as plain data, then runs the whole
+thing and returns per-workload rates plus cache statistics::
+
+    from repro.experiments.scenarios import Scenario
+
+    scenario = (
+        Scenario(seed=7)
+        .cache("doubledecker", mem_mb=1024)
+        .vm("vm1", memory_mb=4096, weight=100)
+        .container("vm1", "web", limit_mb=1024, policy="mem:60",
+                   workload=("webserver", {"nfiles": 8000}))
+        .container("vm1", "mail", limit_mb=1024, policy="mem:40",
+                   workload=("varmail", {"nfiles": 10000}))
+        .at(600, "set_policy", container="mail", policy="ssd:100")
+    )
+    result = scenario.run(warmup_s=300, duration_s=600)
+    print(result.table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..context import SimContext
+from ..core import CachePolicy, DDConfig, StoreKind
+from ..hypervisor import HostSpec
+from ..metrics import format_table
+from ..workloads import (
+    FileserverWorkload,
+    MongoWorkload,
+    MySQLWorkload,
+    OLTPWorkload,
+    RedisWorkload,
+    VarmailWorkload,
+    VideoserverWorkload,
+    WebproxyWorkload,
+    WebserverWorkload,
+)
+from .runner import OccupancySampler
+
+__all__ = ["Scenario", "ScenarioResult", "parse_policy", "WORKLOAD_TYPES"]
+
+#: Workload type registry for declarative specs.
+WORKLOAD_TYPES = {
+    "webserver": WebserverWorkload,
+    "webproxy": WebproxyWorkload,
+    "varmail": VarmailWorkload,
+    "mail": VarmailWorkload,
+    "videoserver": VideoserverWorkload,
+    "fileserver": FileserverWorkload,
+    "oltp": OLTPWorkload,
+    "redis": RedisWorkload,
+    "mysql": MySQLWorkload,
+    "mongodb": MongoWorkload,
+}
+
+
+def parse_policy(spec: Union[str, CachePolicy, None]) -> CachePolicy:
+    """Parse ``"mem:60"`` / ``"ssd:100"`` / ``"hybrid:40:60"`` / ``"none"``."""
+    if spec is None:
+        return CachePolicy.none()
+    if isinstance(spec, CachePolicy):
+        return spec
+    parts = str(spec).lower().split(":")
+    kind = parts[0]
+    try:
+        if kind == "none":
+            return CachePolicy.none()
+        if kind == "mem":
+            return CachePolicy.memory(float(parts[1]))
+        if kind == "ssd":
+            return CachePolicy.ssd(float(parts[1]))
+        if kind == "hybrid":
+            return CachePolicy.hybrid(float(parts[1]), float(parts[2]))
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"malformed policy spec {spec!r}") from exc
+    raise ValueError(f"unknown policy kind {kind!r} in {spec!r}")
+
+
+@dataclass
+class _VMSpec:
+    name: str
+    memory_mb: float
+    vcpus: int
+    weight: float
+    readahead_blocks: int
+
+
+@dataclass
+class _ContainerSpec:
+    vm: str
+    name: str
+    limit_mb: float
+    policy: CachePolicy
+    workload_type: Optional[str]
+    workload_args: Dict[str, Any]
+    start_at: float
+    partition_mb: Optional[float]
+
+
+@dataclass
+class _Event:
+    time: float
+    action: str
+    kwargs: Dict[str, Any]
+
+
+@dataclass
+class ScenarioResult:
+    """Rates and cache stats for every workload-bearing container."""
+
+    rates: Dict[str, dict]
+    cache_stats: Dict[str, Any]
+    series: Dict[str, Any]
+    duration_s: float
+
+    def table(self) -> str:
+        headers = ["container", "ops/s", "MB/s", "lat (ms)",
+                   "hvcache MB", "hit %", "evictions"]
+        rows: List[List[object]] = []
+        for name in sorted(self.rates):
+            rate = self.rates[name]
+            stats = self.cache_stats.get(name)
+            rows.append([
+                name,
+                round(rate["ops_per_s"], 1),
+                round(rate["mb_per_s"], 2),
+                round(rate["mean_latency_ms"], 2),
+                round(rate.get("hvcache_mb", 0.0), 1),
+                round(100 * stats.hit_ratio, 1) if stats else "-",
+                stats.evictions if stats else "-",
+            ])
+        return format_table(headers, rows, title="scenario results")
+
+
+class Scenario:
+    """A declarative derivative-cloud scenario (see module docstring)."""
+
+    def __init__(self, seed: int = 42, host_spec: Optional[HostSpec] = None) -> None:
+        self.seed = seed
+        self.host_spec = host_spec
+        self._cache_kind = "doubledecker"
+        self._cache_kwargs: Dict[str, Any] = {"mem_mb": 1024.0}
+        self._vms: List[_VMSpec] = []
+        self._containers: List[_ContainerSpec] = []
+        self._events: List[_Event] = []
+        self._custom_events: List[Tuple[float, Callable]] = []
+
+    # -- declaration -----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario from a JSON-able dict::
+
+            {
+              "seed": 7,
+              "cache": {"kind": "doubledecker", "mem_mb": 1024},
+              "vms": [
+                {"name": "vm1", "memory_mb": 4096, "weight": 100,
+                 "containers": [
+                   {"name": "web", "limit_mb": 1024, "policy": "mem:60",
+                    "workload": {"type": "webserver", "nfiles": 8000}}
+                 ]}
+              ],
+              "events": [
+                {"at": 600, "action": "set_policy",
+                 "container": "web", "policy": "ssd:100"}
+              ]
+            }
+        """
+        scenario = cls(seed=int(spec.get("seed", 42)))
+        cache_spec = dict(spec.get("cache", {}))
+        if cache_spec:
+            kind = cache_spec.pop("kind", "doubledecker")
+            scenario.cache(kind, **cache_spec)
+        for vm_spec in spec.get("vms", []):
+            vm_spec = dict(vm_spec)
+            containers = vm_spec.pop("containers", [])
+            name = vm_spec.pop("name")
+            scenario.vm(name, **vm_spec)
+            for container_spec in containers:
+                container_spec = dict(container_spec)
+                workload_spec = container_spec.pop("workload", None)
+                workload = None
+                if workload_spec is not None:
+                    workload_spec = dict(workload_spec)
+                    workload = (workload_spec.pop("type"), workload_spec)
+                scenario.container(
+                    name, container_spec.pop("name"),
+                    container_spec.pop("limit_mb"),
+                    policy=container_spec.pop("policy", None),
+                    workload=workload,
+                    **container_spec,
+                )
+        for event_spec in spec.get("events", []):
+            event_spec = dict(event_spec)
+            time_ = event_spec.pop("at")
+            action = event_spec.pop("action")
+            scenario.at(time_, action, **event_spec)
+        return scenario
+
+    def cache(self, kind: str, **kwargs) -> "Scenario":
+        """Choose the hypervisor cache: ``doubledecker`` (mem_mb, ssd_mb,
+        plus any DDConfig field), ``global`` (capacity_mb, per_vm_cap_mb),
+        ``static`` (capacity_mb), or ``none``."""
+        if kind not in ("doubledecker", "global", "static", "none"):
+            raise ValueError(f"unknown cache kind {kind!r}")
+        self._cache_kind = kind
+        self._cache_kwargs = dict(kwargs)
+        return self
+
+    def vm(self, name: str, memory_mb: float, vcpus: int = 4,
+           weight: float = 100.0, readahead_blocks: int = 0) -> "Scenario":
+        self._vms.append(_VMSpec(name, memory_mb, vcpus, weight,
+                                 readahead_blocks))
+        return self
+
+    def container(self, vm: str, name: str, limit_mb: float,
+                  policy: Union[str, CachePolicy, None] = None,
+                  workload: Optional[Tuple[str, Dict[str, Any]]] = None,
+                  start_at: float = 0.0,
+                  partition_mb: Optional[float] = None) -> "Scenario":
+        """Add a container; ``partition_mb`` assigns a hard cap when the
+        scenario runs the ``static`` (Morai-like) cache."""
+        workload_type, workload_args = (None, {})
+        if workload is not None:
+            workload_type, workload_args = workload
+            if workload_type not in WORKLOAD_TYPES:
+                raise ValueError(f"unknown workload type {workload_type!r}")
+        self._containers.append(_ContainerSpec(
+            vm=vm, name=name, limit_mb=limit_mb,
+            policy=parse_policy(policy),
+            workload_type=workload_type,
+            workload_args=dict(workload_args),
+            start_at=start_at,
+            partition_mb=partition_mb,
+        ))
+        return self
+
+    def at(self, time: float, action: Union[str, Callable], **kwargs) -> "Scenario":
+        """Schedule an event: ``set_policy`` (container=, policy=),
+        ``set_limit`` (container=, limit_mb=), ``set_vm_weight`` (vm=,
+        weight=), ``set_capacity`` (store=, mb=), or a callable receiving
+        the live runtime dict."""
+        if callable(action):
+            self._custom_events.append((time, action))
+            return self
+        if action not in ("set_policy", "set_limit", "set_vm_weight",
+                          "set_capacity"):
+            raise ValueError(f"unknown event action {action!r}")
+        self._events.append(_Event(time, action, kwargs))
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def _install_cache(self, host):
+        kind = self._cache_kind
+        kwargs = dict(self._cache_kwargs)
+        if kind == "doubledecker":
+            mem_mb = kwargs.pop("mem_mb", 1024.0)
+            ssd_mb = kwargs.pop("ssd_mb", 0.0)
+            return host.install_doubledecker(DDConfig(
+                mem_capacity_mb=mem_mb, ssd_capacity_mb=ssd_mb, **kwargs
+            ))
+        if kind == "global":
+            return host.install_global_cache(
+                capacity_mb=kwargs.pop("capacity_mb", 1024.0), **kwargs
+            )
+        if kind == "static":
+            return host.install_static_partition(
+                capacity_mb=kwargs.pop("capacity_mb", 1024.0)
+            )
+        return host.install_null_cache()
+
+    def run(self, warmup_s: float = 120.0, duration_s: float = 300.0,
+            sample_interval_s: float = 10.0) -> ScenarioResult:
+        """Build everything, run warm-up + measurement, return results."""
+        if not self._vms:
+            raise ValueError("scenario has no VMs")
+        ctx = SimContext(seed=self.seed)
+        host = ctx.create_host(self.host_spec)
+        cache = self._install_cache(host)
+
+        vms = {}
+        for spec in self._vms:
+            vms[spec.name] = host.create_vm(
+                spec.name, memory_mb=spec.memory_mb, vcpus=spec.vcpus,
+                cache_weight=spec.weight,
+                readahead_blocks=spec.readahead_blocks,
+            )
+
+        sampler = OccupancySampler(ctx, interval_s=sample_interval_s)
+        containers = {}
+        workloads = {}
+
+        def boot_container(spec: _ContainerSpec):
+            vm = vms[spec.vm]
+            container = vm.create_container(spec.name, spec.limit_mb,
+                                            spec.policy)
+            containers[spec.name] = container
+            if spec.partition_mb is not None and hasattr(cache, "set_partition"):
+                cache.set_partition(container.pool_id, spec.partition_mb)
+            if hasattr(cache, "pool_used_mb"):
+                sampler.watch_pool(cache, spec.name, container.pool_id)
+            if spec.workload_type is not None:
+                workload_cls = WORKLOAD_TYPES[spec.workload_type]
+                workload = workload_cls(name=spec.name, **spec.workload_args)
+                workload.start(container, ctx.streams)
+                workloads[spec.name] = workload
+
+        for spec in self._containers:
+            if spec.vm not in vms:
+                raise ValueError(f"container {spec.name!r} references "
+                                 f"unknown VM {spec.vm!r}")
+            if spec.start_at <= 0:
+                boot_container(spec)
+            else:
+                def delayed(env, spec=spec):
+                    yield env.timeout(spec.start_at)
+                    boot_container(spec)
+                ctx.env.process(delayed(ctx.env), name=f"boot-{spec.name}")
+        sampler.start()
+
+        runtime = {"ctx": ctx, "host": host, "cache": cache, "vms": vms,
+                   "containers": containers, "workloads": workloads}
+
+        def run_event(event: _Event):
+            if event.action == "set_policy":
+                containers[event.kwargs["container"]].set_cache_policy(
+                    parse_policy(event.kwargs["policy"]))
+            elif event.action == "set_limit":
+                containers[event.kwargs["container"]].set_memory_limit_mb(
+                    event.kwargs["limit_mb"])
+            elif event.action == "set_vm_weight":
+                host.set_vm_cache_weight(vms[event.kwargs["vm"]],
+                                         event.kwargs["weight"])
+            elif event.action == "set_capacity":
+                store = (StoreKind.SSD if str(event.kwargs["store"]).lower()
+                         == "ssd" else StoreKind.MEMORY)
+                cache.set_capacity(store, event.kwargs["mb"])
+
+        for event in self._events:
+            def fire(env, event=event):
+                yield env.timeout(event.time)
+                run_event(event)
+            ctx.env.process(fire(ctx.env), name=f"event@{event.time}")
+        for time_, fn in self._custom_events:
+            def fire_custom(env, time_=time_, fn=fn):
+                yield env.timeout(time_)
+                fn(runtime)
+            ctx.env.process(fire_custom(ctx.env), name=f"custom@{time_}")
+
+        # Inline measurement (not measure_window): containers may boot
+        # mid-run, so the workload set is only known after warm-up.
+        ctx.run(until=ctx.now + warmup_s)
+        warmup_end = ctx.now
+        begin = {name: w.snapshot() for name, w in workloads.items()}
+        ctx.run(until=ctx.now + duration_s)
+        rates: Dict[str, dict] = {}
+        for name, workload in workloads.items():
+            baseline = begin.get(name)
+            if baseline is None:
+                # Booted during the measurement window: rate everything it
+                # did against the full window.
+                from ..workloads import CounterSnapshot
+
+                baseline = CounterSnapshot(
+                    time=warmup_end, ops=0, bytes_read=0, bytes_written=0,
+                    latency_total=0.0, latency_count=0,
+                )
+            rates[name] = workload.snapshot().rates_since(baseline)
+        cache_stats = {}
+        for name, container in containers.items():
+            stats = container.cache_stats()
+            cache_stats[name] = stats
+            if name in rates:
+                rates[name]["hvcache_mb"] = container.hvcache_mb
+        return ScenarioResult(
+            rates=rates,
+            cache_stats=cache_stats,
+            series=dict(sampler.series),
+            duration_s=duration_s,
+        )

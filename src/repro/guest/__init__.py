@@ -1,0 +1,15 @@
+"""Guest-side stack: filesystem, guest OS, virtual machines, containers."""
+
+from .filesystem import File, Filesystem
+from .guestos import GuestOS, GuestStats, IOResult
+from .vm import Container, VirtualMachine
+
+__all__ = [
+    "Container",
+    "File",
+    "Filesystem",
+    "GuestOS",
+    "GuestStats",
+    "IOResult",
+    "VirtualMachine",
+]

@@ -1,0 +1,5 @@
+"""Host machine and hypervisor-side plumbing."""
+
+from .host import Host, HostSpec
+
+__all__ = ["Host", "HostSpec"]

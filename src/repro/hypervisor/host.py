@@ -1,0 +1,163 @@
+"""The physical host: devices, the hypervisor, VM lifecycle.
+
+A :class:`Host` wires together the shared HDD (backing all virtual disks
+and swap areas), the SSD (available to the hypervisor cache), and whatever
+hypervisor-cache implementation an experiment installs.  It hands out
+virtual-disk regions so different VMs' IO streams never look sequential to
+the spindle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import (
+    CachePolicy,
+    DDConfig,
+    DoubleDeckerCache,
+    GlobalCache,
+    HypervisorCacheBase,
+    NullCache,
+    StaticPartitionCache,
+)
+from ..guest import VirtualMachine
+from ..metrics import MetricsRegistry, Sampler
+from ..simkernel import Environment, RandomStreams
+from ..storage import HDD, KB, SSD, HDDSpec, SSDSpec
+
+__all__ = ["Host", "HostSpec"]
+
+#: Virtual-disk region stride between VMs (in blocks); swap lives halfway.
+_VM_DISK_STRIDE = 1 << 32
+_SWAP_OFFSET = 1 << 31
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Hardware of the testbed (defaults mirror the paper's server)."""
+
+    memory_mb: float = 32768.0
+    cpus: int = 16
+    block_kb: int = 64
+    hdd: HDDSpec = field(default_factory=HDDSpec)
+    ssd: SSDSpec = field(default_factory=SSDSpec)
+
+    @property
+    def block_bytes(self) -> int:
+        return self.block_kb * KB
+
+
+class Host:
+    """One physical machine of the derivative cloud."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: Optional[HostSpec] = None,
+        streams: Optional[RandomStreams] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.spec = spec or HostSpec()
+        self.streams = streams or RandomStreams(0)
+        self.registry = registry or MetricsRegistry()
+        self.block_bytes = self.spec.block_bytes
+        self.hdd = HDD(
+            env,
+            self.block_bytes,
+            spec=self.spec.hdd,
+            rng=self.streams.stream("host.hdd"),
+        )
+        self.ssd = SSD(env, self.block_bytes, spec=self.spec.ssd)
+        self.hvcache: HypervisorCacheBase = NullCache()
+        self.vms: Dict[str, VirtualMachine] = {}
+        self._vm_count = 0
+        self.sampler = Sampler(env, self.registry, interval=10.0)
+
+    # -- hypervisor cache installation -------------------------------------------
+
+    def install_doubledecker(self, config: DDConfig) -> DoubleDeckerCache:
+        """Run DoubleDecker as the host's hypervisor cache."""
+        ssd_device = self.ssd if config.ssd_capacity_mb > 0 else None
+        cache = DoubleDeckerCache(
+            self.env, config, self.block_bytes, ssd_device=ssd_device
+        )
+        self.hvcache = cache
+        return cache
+
+    def install_global_cache(
+        self,
+        capacity_mb: float,
+        per_vm_cap_mb: Optional[float] = None,
+        exclusive: bool = True,
+    ) -> GlobalCache:
+        """Run the nesting-agnostic baseline cache."""
+        cache = GlobalCache(
+            self.env,
+            capacity_mb,
+            self.block_bytes,
+            per_vm_cap_mb=per_vm_cap_mb,
+            exclusive=exclusive,
+        )
+        self.hvcache = cache
+        return cache
+
+    def install_static_partition(self, capacity_mb: float) -> StaticPartitionCache:
+        """Run the centralized static-partition baseline (Morai++)."""
+        cache = StaticPartitionCache(self.env, capacity_mb, self.block_bytes)
+        self.hvcache = cache
+        return cache
+
+    def install_null_cache(self) -> NullCache:
+        """Disable hypervisor caching entirely."""
+        cache = NullCache()
+        self.hvcache = cache
+        return cache
+
+    # -- VM lifecycle ------------------------------------------------------------------
+
+    def create_vm(
+        self,
+        name: str,
+        memory_mb: float,
+        vcpus: int = 4,
+        cache_weight: float = 100.0,
+        kernel_reserve_mb: float = 64.0,
+        readahead_blocks: int = 0,
+    ) -> VirtualMachine:
+        """Boot a VM and register it with the hypervisor cache."""
+        if name in self.vms:
+            raise ValueError(f"VM {name!r} already exists")
+        vm_id = self.hvcache.register_vm(name, cache_weight)
+        disk_base = self._vm_count * _VM_DISK_STRIDE
+        self._vm_count += 1
+        vm = VirtualMachine(
+            self.env,
+            name=name,
+            memory_mb=memory_mb,
+            vcpus=vcpus,
+            block_bytes=self.block_bytes,
+            disk=self.hdd,
+            hvcache=self.hvcache,
+            vm_id=vm_id,
+            disk_base_block=disk_base,
+            kernel_reserve_mb=kernel_reserve_mb,
+            reclaim_rng=self.streams.stream(f"vm.{name}.reclaim"),
+            readahead_blocks=readahead_blocks,
+        )
+        vm.os.swap_base = disk_base + _SWAP_OFFSET
+        self.vms[name] = vm
+        return vm
+
+    def destroy_vm(self, vm: VirtualMachine) -> None:
+        """Tear a VM down (all its pools are freed)."""
+        self.hvcache.unregister_vm(vm.vm_id)
+        del self.vms[vm.name]
+
+    def set_vm_cache_weight(self, vm: VirtualMachine, weight: float) -> None:
+        """Hypervisor-level policy: change a VM's cache share weight."""
+        self.hvcache.set_vm_weight(vm.vm_id, weight)
+
+    def vm(self, name: str) -> VirtualMachine:
+        return self.vms[name]

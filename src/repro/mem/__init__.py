@@ -1,0 +1,7 @@
+"""Guest memory subsystems: page cache, anonymous memory, swap state."""
+
+from .anon import AnonSpace
+from .page import BlockKey, PageEntry
+from .pagecache import PageCache
+
+__all__ = ["AnonSpace", "BlockKey", "PageCache", "PageEntry"]

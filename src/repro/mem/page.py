@@ -1,0 +1,53 @@
+"""Page-level bookkeeping records for the guest page cache."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["PageEntry", "BlockKey", "SeqCounter"]
+
+
+class SeqCounter:
+    """A VM-wide monotonically increasing access stamp.
+
+    Shared between the page cache and all anon spaces of one VM so that
+    cross-cgroup "who is coldest" comparisons (the global-LRU
+    approximation used for VM-level reclaim) are meaningful.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value
+
+#: Identity of a file block inside one VM: (inode number, block offset).
+BlockKey = Tuple[int, int]
+
+
+class PageEntry:
+    """State of one cached file block in a guest page cache."""
+
+    __slots__ = ("inode", "block", "cgroup_id", "dirty", "dirty_since", "seq")
+
+    def __init__(self, inode: int, block: int, cgroup_id: int, seq: int) -> None:
+        self.inode = inode
+        self.block = block
+        #: The container charged for this page (cleancache pool owner).
+        self.cgroup_id = cgroup_id
+        self.dirty = False
+        #: Simulation time the page was first dirtied (for writeback aging).
+        self.dirty_since: Optional[float] = None
+        #: VM-wide access sequence number (global-LRU approximation).
+        self.seq = seq
+
+    @property
+    def key(self) -> BlockKey:
+        return (self.inode, self.block)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "D" if self.dirty else "C"
+        return f"<Page {self.inode}:{self.block} cg={self.cgroup_id} {flag}>"

@@ -1,0 +1,15 @@
+"""Metrics collection and reporting for simulation experiments."""
+
+from .collector import MetricsRegistry, Sampler
+from .reporting import ascii_plot, format_series_csv, format_table
+from .timeseries import SummaryStat, TimeSeries
+
+__all__ = [
+    "MetricsRegistry",
+    "Sampler",
+    "SummaryStat",
+    "TimeSeries",
+    "ascii_plot",
+    "format_series_csv",
+    "format_table",
+]

@@ -1,0 +1,130 @@
+"""Central metrics registry plus periodic samplers.
+
+A single :class:`MetricsRegistry` is owned by the simulation context; all
+components register counters, gauges, series, and summaries in it under
+hierarchical dotted names (``"hvcache.pool.web.used_mb"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from .timeseries import SummaryStat, TimeSeries
+
+__all__ = ["MetricsRegistry", "Sampler"]
+
+
+class MetricsRegistry:
+    """Namespace of named metrics.
+
+    All accessors are create-on-first-use, so producers and consumers don't
+    need to coordinate registration order.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._summaries: Dict[str, SummaryStat] = {}
+
+    # -- counters --------------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose names start with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- time series -------------------------------------------------------------
+
+    def series(self, name: str) -> TimeSeries:
+        """The time series ``name`` (created empty on first use)."""
+        ts = self._series.get(name)
+        if ts is None:
+            ts = TimeSeries(name)
+            self._series[name] = ts
+        return ts
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a sample to series ``name``."""
+        self.series(name).record(time, value)
+
+    def all_series(self, prefix: str = "") -> Dict[str, TimeSeries]:
+        """All series whose names start with ``prefix``."""
+        return {
+            name: ts for name, ts in self._series.items() if name.startswith(prefix)
+        }
+
+    # -- summaries ----------------------------------------------------------------
+
+    def summary(self, name: str) -> SummaryStat:
+        """The summary statistic ``name`` (created on first use)."""
+        stat = self._summaries.get(name)
+        if stat is None:
+            stat = SummaryStat(name)
+            self._summaries[name] = stat
+        return stat
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into summary ``name``."""
+        self.summary(name).add(value)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def names(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(kind, name)`` for every registered metric."""
+        for name in self._counters:
+            yield ("counter", name)
+        for name in self._series:
+            yield ("series", name)
+        for name in self._summaries:
+            yield ("summary", name)
+
+
+class Sampler:
+    """A periodic simulation process recording gauge callables into series.
+
+    Example::
+
+        sampler = Sampler(env, registry, interval=10.0)
+        sampler.add("pool.web.used_mb", lambda: pool.used_mb)
+        sampler.start()
+    """
+
+    def __init__(self, env, registry: MetricsRegistry, interval: float = 10.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._process = None
+
+    def add(self, name: str, gauge: Callable[[], float]) -> None:
+        """Sample ``gauge()`` into series ``name`` every interval."""
+        self._gauges[name] = gauge
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._process is None:
+            self._process = self.env.process(self._run(), name="metrics-sampler")
+
+    def sample_once(self) -> None:
+        """Record one sample of every gauge at the current time."""
+        now = self.env.now
+        for name, gauge in self._gauges.items():
+            self.registry.record(name, now, float(gauge()))
+
+    def _run(self):
+        while True:
+            self.sample_once()
+            yield self.env.timeout(self.interval)

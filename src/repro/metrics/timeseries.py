@@ -1,0 +1,145 @@
+"""Time-series and summary-statistics containers used across the simulator."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries", "SummaryStat"]
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples.
+
+    Times must be non-decreasing (samplers append in simulation order).
+    Provides the handful of reductions the experiment harness needs:
+    means over windows, final values, and resampling for plotting/tables.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample at ``time``."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recent value, or ``None`` if empty."""
+        return self.values[-1] if self.values else None
+
+    def value_at(self, time: float) -> Optional[float]:
+        """Value of the latest sample at or before ``time``."""
+        idx = bisect.bisect_right(self.times, time) - 1
+        return self.values[idx] if idx >= 0 else None
+
+    def mean(self, start: float = float("-inf"), end: float = float("inf")) -> float:
+        """Arithmetic mean of samples with ``start <= t <= end``."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        window = self.values[lo:hi]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def max(self, start: float = float("-inf"), end: float = float("inf")) -> float:
+        """Maximum of samples with ``start <= t <= end`` (0.0 if none)."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        window = self.values[lo:hi]
+        return max(window) if window else 0.0
+
+    def resample(self, step: float, end: Optional[float] = None) -> "TimeSeries":
+        """Piecewise-constant resampling at a fixed ``step`` (for plots)."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        out = TimeSeries(self.name)
+        if not self.times:
+            return out
+        stop = end if end is not None else self.times[-1]
+        t = self.times[0]
+        while t <= stop:
+            value = self.value_at(t)
+            out.record(t, value if value is not None else 0.0)
+            t += step
+        return out
+
+
+class SummaryStat:
+    """Streaming summary of a scalar sample set (latencies, sizes, ...).
+
+    Keeps count/sum/min/max plus a bounded reservoir for approximate
+    percentiles, so memory stays constant regardless of op counts.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir",
+                 "_reservoir_size", "_rng_state")
+
+    def __init__(self, name: str = "", reservoir_size: int = 2048) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir: List[float] = []
+        self._reservoir_size = reservoir_size
+        # Cheap deterministic LCG for reservoir sampling; avoids entangling
+        # metrics with the simulation's RNG streams.
+        self._rng_state = 0x2545F4914F6CDD1D
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            self._rng_state = (self._rng_state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            slot = self._rng_state % self.count
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (q in [0, 100])."""
+        if not self._reservoir:
+            return 0.0
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def merge(self, other: "SummaryStat") -> None:
+        """Fold another summary into this one (reservoirs concatenated)."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        room = self._reservoir_size - len(self._reservoir)
+        if room > 0:
+            self._reservoir.extend(other._reservoir[:room])

@@ -1,0 +1,16 @@
+"""Adaptive provisioning policies (the paper's §5.2.1 direction):
+MRC/SHARDS estimation, WSS tracking, and in-VM controllers that drive
+SET_CG_WEIGHT / cgroup-limit changes from live measurements."""
+
+from .controller import AdaptiveWeightController, BalloonController
+from .mrc import MissRatioCurve, ReuseDistanceTracker, ShardsEstimator
+from .wss import WSSEstimator
+
+__all__ = [
+    "AdaptiveWeightController",
+    "BalloonController",
+    "MissRatioCurve",
+    "ReuseDistanceTracker",
+    "ShardsEstimator",
+    "WSSEstimator",
+]

@@ -1,0 +1,259 @@
+"""Adaptive in-VM policy controllers.
+
+The paper's closing argument (§5.2.1): because DoubleDecker exposes
+per-container statistics (GET_STATS) and accepts live re-weighting
+(SET_CG_WEIGHT), a VM-level controller can provision the hypervisor cache
+*adaptively* using MRC/WSS estimation — something centralized schemes
+cannot do.  This module supplies that controller.
+
+:class:`AdaptiveWeightController` periodically:
+
+1. samples each container's cache stats (hits, misses, usage),
+2. folds per-container access profiles into SHARDS miss-ratio curves,
+3. solves a greedy marginal-gain allocation of the VM's cache share, and
+4. pushes the resulting ``<T, W>`` weights via ``SET_CG_WEIGHT``.
+
+:class:`BalloonController` additionally rebalances *in-VM* cgroup memory
+between anon-bound and file-bound containers — the cooperative two-level
+story of Table 4, automated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.config import CachePolicy
+from ..guest import Container
+from ..simkernel import Environment, Interrupt
+from .mrc import MissRatioCurve, ShardsEstimator
+
+__all__ = ["AdaptiveWeightController", "BalloonController"]
+
+
+class _ContainerProfile:
+    """Per-container adaptive state."""
+
+    __slots__ = ("container", "estimator", "last_stats", "weight")
+
+    def __init__(self, container: Container, sample_rate: float) -> None:
+        self.container = container
+        self.estimator = ShardsEstimator(initial_rate=sample_rate)
+        self.last_stats = None
+        self.weight = 0.0
+
+
+class AdaptiveWeightController:
+    """Greedy MRC-driven cache-weight controller for one VM.
+
+    The controller taps the guest's cleancache *get* stream (installed via
+    :meth:`attach`) to feed the SHARDS estimators — in the real system
+    this is a kernel hook; here it wraps the guest OS method.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        containers: List[Container],
+        total_cache_blocks: int,
+        interval_s: float = 60.0,
+        sample_rate: float = 0.05,
+        min_weight: float = 5.0,
+        quantum_blocks: int = 256,
+    ) -> None:
+        if not containers:
+            raise ValueError("need at least one container to control")
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.env = env
+        self.total_cache_blocks = total_cache_blocks
+        self.interval_s = interval_s
+        self.min_weight = min_weight
+        self.quantum_blocks = max(1, quantum_blocks)
+        self.profiles: Dict[str, _ContainerProfile] = {
+            c.name: _ContainerProfile(c, sample_rate) for c in containers
+        }
+        self.rounds = 0
+        self._proc = None
+        self._installed = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Hook the VM's miss stream and start the control loop."""
+        if self._installed:
+            return
+        self._installed = True
+        vm = next(iter(self.profiles.values())).container.vm
+        original = vm.os._fill_misses
+        profiles = self.profiles
+
+        def tapped(cgroup, file, misses, result):
+            profile = profiles.get(cgroup.name)
+            if profile is not None:
+                for key in misses:
+                    profile.estimator.access(key)
+            return original(cgroup, file, misses, result)
+
+        vm.os._fill_misses = tapped
+        self._proc = self.env.process(self._loop(), name="adaptive-controller")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+            self._proc = None
+
+    # -- the control loop ------------------------------------------------------------
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval_s)
+                self.rebalance()
+        except Interrupt:
+            return
+
+    def rebalance(self) -> Dict[str, float]:
+        """One control round: estimate curves, allocate, apply weights."""
+        self.rounds += 1
+        curves: Dict[str, MissRatioCurve] = {}
+        rates: Dict[str, float] = {}
+        for name, profile in self.profiles.items():
+            curves[name] = profile.estimator.curve()
+            rates[name] = max(1.0, float(profile.estimator.accesses))
+
+        allocation = self._greedy_allocate(curves, rates)
+        total = sum(allocation.values()) or 1.0
+        weights: Dict[str, float] = {}
+        for name, blocks in allocation.items():
+            weight = max(self.min_weight, 100.0 * blocks / total)
+            weights[name] = weight
+        self._apply(weights)
+        return weights
+
+    def _greedy_allocate(self, curves: Dict[str, MissRatioCurve],
+                         rates: Dict[str, float]) -> Dict[str, int]:
+        """Steepest-average-slope water-filling.
+
+        Plain quantum-greedy stalls on MRC *cliffs* (a cyclic or
+        nearly-cyclic pattern gains nothing until the whole working set
+        fits).  Instead, each step looks ahead along the curve for the
+        jump with the best average miss-savings per block (the convex
+        minorant of the MRC) and allocates that jump at once.
+        """
+        allocation = {name: 0 for name in curves}
+        remaining = self.total_cache_blocks
+        while remaining >= self.quantum_blocks:
+            best_name = None
+            best_slope = 0.0
+            best_delta = 0
+            for name, curve in curves.items():
+                current = allocation[name]
+                here = curve.miss_ratio_at(current)
+                targets = [s for s in curve.sizes
+                           if current < s <= current + remaining]
+                targets.append(current + remaining)
+                for target in targets:
+                    delta = target - current
+                    if delta < self.quantum_blocks:
+                        continue
+                    gain = here - curve.miss_ratio_at(target)
+                    slope = gain / delta * rates[name]
+                    if slope > best_slope:
+                        best_slope = slope
+                        best_name = name
+                        best_delta = delta
+            if best_name is None:
+                break  # nobody benefits; stop handing out capacity
+            allocation[best_name] += best_delta
+            remaining -= best_delta
+        if all(v == 0 for v in allocation.values()):
+            # Degenerate cold start: split evenly.
+            share = self.total_cache_blocks // max(1, len(allocation))
+            allocation = {name: share for name in allocation}
+        return allocation
+
+    def _apply(self, weights: Dict[str, float]) -> None:
+        for name, weight in weights.items():
+            profile = self.profiles[name]
+            profile.weight = weight
+            policy = profile.container.cgroup.policy
+            if policy.ssd_weight > 0 and policy.mem_weight == 0:
+                new_policy = CachePolicy.ssd(weight)
+            else:
+                new_policy = CachePolicy.memory(weight)
+            profile.container.set_cache_policy(new_policy)
+
+
+class BalloonController:
+    """Two-level rebalancer: shifts in-VM memory toward swapping
+    containers and compensates file-bound ones with hypervisor cache.
+
+    A minimal automated version of the manual provisioning the paper does
+    for Table 4: watch swap-out rates; grow the cgroup limit of the worst
+    swapper at the expense of the container with the most reclaimable file
+    cache (whose working set the hypervisor cache can absorb instead).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        containers: List[Container],
+        interval_s: float = 120.0,
+        step_mb: float = 128.0,
+        min_limit_mb: float = 128.0,
+    ) -> None:
+        if len(containers) < 2:
+            raise ValueError("need at least two containers to rebalance")
+        self.env = env
+        self.containers = list(containers)
+        self.interval_s = interval_s
+        self.step_mb = step_mb
+        self.min_limit_mb = min_limit_mb
+        self._last_swap: Dict[str, float] = {
+            c.name: c.cgroup.swap_out_blocks for c in containers
+        }
+        self.moves = 0
+        self._proc = env.process(self._loop(), name="balloon-controller")
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval_s)
+                self.rebalance()
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+            self._proc = None
+
+    def rebalance(self) -> Optional[str]:
+        """One round; returns the name of the grown container, if any."""
+        swap_rates: Dict[str, float] = {}
+        for container in self.containers:
+            now = container.cgroup.swap_out_blocks
+            swap_rates[container.name] = now - self._last_swap[container.name]
+            self._last_swap[container.name] = now
+
+        needy = max(self.containers, key=lambda c: swap_rates[c.name])
+        if swap_rates[needy.name] <= 0:
+            return None
+        block_mb = needy.vm.block_bytes / (1 << 20)
+        donors = [
+            c for c in self.containers
+            if c is not needy
+            and c.cgroup.limit_blocks * block_mb - self.step_mb
+            >= self.min_limit_mb
+        ]
+        if not donors:
+            return None
+        # Donate from the container with the most file cache (its pages
+        # can live in the hypervisor cache instead).
+        donor = max(donors, key=lambda c: c.cgroup.file_blocks)
+        donor_mb = donor.cgroup.limit_blocks * block_mb
+        needy_mb = needy.cgroup.limit_blocks * block_mb
+        donor.set_memory_limit_mb(donor_mb - self.step_mb)
+        needy.set_memory_limit_mb(needy_mb + self.step_mb)
+        self.moves += 1
+        return needy.name

@@ -1,0 +1,218 @@
+"""Miss-ratio curve (MRC) estimation.
+
+The paper (§5.2.1) points at MRC and SHARDS-style estimation as the way a
+VM-level manager would *discover* good cache partitions instead of having
+them hand-configured.  This module implements both:
+
+* :class:`ReuseDistanceTracker` — exact LRU reuse-distance histogram via
+  the classic Mattson stack algorithm (a balanced order-statistics tree
+  would be O(log n); the stack here uses a Fenwick tree over access
+  timestamps, which is the standard O(log n) trick).
+* :class:`ShardsEstimator` — SHARDS (Waldspurger et al., FAST '15):
+  spatially-hashed sampling with rate adaptation, giving approximate MRCs
+  at a tiny fraction of the cost.
+
+Both produce a :class:`MissRatioCurve` that answers "what would the miss
+ratio be at cache size X?" — exactly what an adaptive weight controller
+needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["MissRatioCurve", "ReuseDistanceTracker", "ShardsEstimator"]
+
+
+class MissRatioCurve:
+    """A miss-ratio curve over cache sizes (in blocks)."""
+
+    def __init__(self, sizes: List[int], miss_ratios: List[float],
+                 total_accesses: int) -> None:
+        if len(sizes) != len(miss_ratios):
+            raise ValueError("sizes and miss_ratios must align")
+        self.sizes = sizes
+        self.miss_ratios = miss_ratios
+        self.total_accesses = total_accesses
+
+    def miss_ratio_at(self, size: int) -> float:
+        """Interpolated miss ratio for a cache of ``size`` blocks."""
+        if not self.sizes:
+            return 1.0
+        if size <= self.sizes[0]:
+            return self.miss_ratios[0]
+        for (s0, m0), (s1, m1) in zip(
+            zip(self.sizes, self.miss_ratios),
+            zip(self.sizes[1:], self.miss_ratios[1:]),
+        ):
+            if size <= s1:
+                if s1 == s0:
+                    return m1
+                frac = (size - s0) / (s1 - s0)
+                return m0 + frac * (m1 - m0)
+        return self.miss_ratios[-1]
+
+    def marginal_gain(self, size: int, delta: int) -> float:
+        """Miss-ratio reduction from growing the cache by ``delta``."""
+        if delta <= 0:
+            return 0.0
+        return self.miss_ratio_at(size) - self.miss_ratio_at(size + delta)
+
+
+class _Fenwick:
+    """Binary indexed tree over access positions (for stack distances)."""
+
+    __slots__ = ("tree", "n")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, idx: int, delta: int) -> None:
+        idx += 1
+        while idx <= self.n:
+            self.tree[idx] += delta
+            idx += idx & (-idx)
+
+    def prefix_sum(self, idx: int) -> int:
+        """Sum of positions [0, idx]."""
+        idx += 1
+        total = 0
+        while idx > 0:
+            total += self.tree[idx]
+            idx -= idx & (-idx)
+        return total
+
+    def grow(self, new_n: int) -> None:
+        if new_n <= self.n:
+            return
+        old = self
+        grown = _Fenwick(new_n)
+        # Rebuild from per-position values (O(n log n), amortized rare).
+        for pos in range(old.n):
+            value = old.prefix_sum(pos) - (old.prefix_sum(pos - 1) if pos else 0)
+            if value:
+                grown.add(pos, value)
+        self.tree = grown.tree
+        self.n = grown.n
+
+
+class ReuseDistanceTracker:
+    """Exact LRU stack-distance histogram (Mattson) in O(log n) per access."""
+
+    def __init__(self, max_tracked: int = 1 << 20) -> None:
+        self.max_tracked = max_tracked
+        self._last_pos: Dict[Hashable, int] = {}
+        self._clock = 0
+        self._fenwick = _Fenwick(1024)
+        #: histogram: stack distance -> count (inf distances in `cold`)
+        self.histogram: Dict[int, int] = {}
+        self.cold_misses = 0
+        self.accesses = 0
+
+    def access(self, key: Hashable) -> Optional[int]:
+        """Record one access; returns its stack distance (None if cold)."""
+        self.accesses += 1
+        if self._clock >= self._fenwick.n:
+            self._fenwick.grow(self._fenwick.n * 2)
+        last = self._last_pos.get(key)
+        distance: Optional[int] = None
+        if last is None:
+            self.cold_misses += 1
+        else:
+            # Stack distance = number of distinct keys accessed since.
+            distance = (
+                self._fenwick.prefix_sum(self._clock - 1)
+                - self._fenwick.prefix_sum(last)
+            )
+            self.histogram[distance] = self.histogram.get(distance, 0) + 1
+            self._fenwick.add(last, -1)
+        self._fenwick.add(self._clock, 1)
+        self._last_pos[key] = self._clock
+        self._clock += 1
+        if len(self._last_pos) > self.max_tracked:
+            # Tracking bound: drop the oldest half (approximation guard).
+            ordered = sorted(self._last_pos.items(), key=lambda kv: kv[1])
+            for key_, _ in ordered[: len(ordered) // 2]:
+                del self._last_pos[key_]
+        return distance
+
+    def curve(self, points: int = 32) -> MissRatioCurve:
+        """Integrate the histogram into a miss-ratio curve."""
+        if not self.accesses:
+            return MissRatioCurve([], [], 0)
+        max_distance = max(self.histogram) if self.histogram else 1
+        sizes: List[int] = []
+        ratios: List[float] = []
+        step = max(1, max_distance // max(1, points - 1))
+        ordered = sorted(self.histogram.items())
+        for size in range(0, max_distance + step, step):
+            hits = sum(count for dist, count in ordered if dist < size)
+            misses = self.accesses - hits
+            sizes.append(size)
+            ratios.append(misses / self.accesses)
+        return MissRatioCurve(sizes, ratios, self.accesses)
+
+
+class ShardsEstimator:
+    """SHARDS: sampled reuse distances with spatial hashing.
+
+    Keys whose hash falls below the sampling threshold are tracked with an
+    exact tracker; recorded distances are scaled up by 1/rate.  With
+    ``fixed_size`` set, the sample set is bounded and the rate adapts
+    downward (SHARDS_adj's eviction rule).
+    """
+
+    def __init__(self, initial_rate: float = 0.01,
+                 fixed_size: Optional[int] = 2048) -> None:
+        if not (0.0 < initial_rate <= 1.0):
+            raise ValueError(f"rate must be in (0, 1], got {initial_rate}")
+        self.rate = initial_rate
+        self.fixed_size = fixed_size
+        self._modulus = 1 << 24
+        self._threshold = int(initial_rate * self._modulus)
+        self._tracker = ReuseDistanceTracker()
+        #: sampled keys -> their hash value (for rate-adaptive eviction)
+        self._sampled: Dict[Hashable, int] = {}
+        self.accesses = 0
+        self.sampled_accesses = 0
+
+    @staticmethod
+    def _hash(key: Hashable) -> int:
+        # Fibonacci hashing of Python's hash: cheap, well-spread.
+        return (hash(key) * 2654435761) % (1 << 32)
+
+    def access(self, key: Hashable) -> None:
+        """Record one access (sampled internally)."""
+        self.accesses += 1
+        value = self._hash(key) % self._modulus
+        if value >= self._threshold:
+            return
+        self.sampled_accesses += 1
+        self._tracker.access(key)
+        self._sampled[key] = value
+        if self.fixed_size and len(self._sampled) > self.fixed_size:
+            self._lower_rate()
+
+    def _lower_rate(self) -> None:
+        """Evict the highest-hash sampled keys and shrink the threshold."""
+        cutoff = sorted(self._sampled.values())[self.fixed_size // 2]
+        self._threshold = max(1, cutoff)
+        self.rate = self._threshold / self._modulus
+        for key in [k for k, v in self._sampled.items() if v >= cutoff]:
+            del self._sampled[key]
+            self._tracker._last_pos.pop(key, None)
+
+    def curve(self, points: int = 32) -> MissRatioCurve:
+        """Scaled miss-ratio curve (sizes scaled by 1/rate)."""
+        base = self._tracker.curve(points)
+        scale = 1.0 / self.rate if self.rate > 0 else 1.0
+        sizes = [int(size * scale) for size in base.sizes]
+        return MissRatioCurve(sizes, base.miss_ratios, self.accesses)
+
+    def working_set_estimate(self) -> int:
+        """Distinct-block estimate: sampled uniques scaled by 1/rate."""
+        if self.rate <= 0:
+            return 0
+        return int(len(self._sampled) / self.rate)

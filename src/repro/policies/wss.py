@@ -1,0 +1,66 @@
+"""Working-set-size estimation over sliding windows.
+
+The lightweight companion to MRC estimation: tracks how many distinct
+blocks a container touched in recent time windows, which the adaptive
+controller uses to detect anon-heavy vs file-heavy behaviour and to cap
+useless cache shares (a container cannot profit from more cache than its
+working set).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["WSSEstimator"]
+
+
+class WSSEstimator:
+    """Distinct-reference counter over a sliding simulated-time window.
+
+    Maintains per-epoch key sets; the working set at query time is the
+    union of the sets in the window.  Epoch rotation keeps cost bounded
+    and gives a natural decay.
+    """
+
+    def __init__(self, window_s: float = 120.0, epochs: int = 4) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        if epochs < 1:
+            raise ValueError(f"need at least one epoch, got {epochs}")
+        self.window_s = window_s
+        self.epochs = epochs
+        self._epoch_len = window_s / epochs
+        self._buckets: Deque[set] = deque([set()], maxlen=epochs)
+        self._epoch_start = 0.0
+        self.total_accesses = 0
+
+    def _rotate_to(self, now: float) -> None:
+        if now - self._epoch_start > self.window_s + self._epoch_len:
+            # Long idle gap: everything in the window has expired.
+            self._buckets.clear()
+            self._buckets.append(set())
+            self._epoch_start = now
+            return
+        while now - self._epoch_start >= self._epoch_len:
+            self._buckets.append(set())
+            self._epoch_start += self._epoch_len
+
+    def access(self, key: Hashable, now: float) -> None:
+        """Record one access at simulated time ``now``."""
+        self._rotate_to(now)
+        self._buckets[-1].add(key)
+        self.total_accesses += 1
+
+    def working_set(self, now: Optional[float] = None) -> int:
+        """Distinct keys referenced within the window."""
+        if now is not None:
+            self._rotate_to(now)
+        union: set = set()
+        for bucket in self._buckets:
+            union |= bucket
+        return len(union)
+
+    def hot_set(self) -> int:
+        """Distinct keys in the most recent epoch only."""
+        return len(self._buckets[-1]) if self._buckets else 0

@@ -1,0 +1,162 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+
+#: Scheduling priorities: URGENT events (process bootstraps, interrupts)
+#: run before NORMAL events scheduled for the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at a target event."""
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue runs dry before the stop condition."""
+
+
+class Environment:
+    """Coordinates simulated time and event execution.
+
+    Time is a float; the unit is defined by convention (this project uses
+    **seconds** everywhere).  Typical use::
+
+        env = Environment()
+        env.process(some_generator())
+        env.run(until=3600)
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event constructors -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of losing it.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else RuntimeError(exc)
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is empty;
+        * a number — run until simulated time reaches it exactly;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                stop_time = float(until)
+                if stop_time < self._now:
+                    raise ValueError(
+                        f"until ({stop_time}) must not be before current "
+                        f"time ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                # NORMAL priority so that all URGENT work at `until` runs.
+                self.schedule(stop_event, delay=stop_time - self._now)
+            stop_event.callbacks.append(_stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.processed:
+                if stop_time is not None:
+                    # Nothing left to simulate: just advance the clock.
+                    self._now = stop_time
+                    return None
+                raise RuntimeError(
+                    "run() stop event was never triggered and the schedule is empty"
+                ) from None
+            return None
+
+
+def _stop_callback(event: Event) -> None:
+    if event.ok:
+        raise StopSimulation(event.value)
+    raise event.value

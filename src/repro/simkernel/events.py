@@ -1,0 +1,233 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularized by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the :class:`~repro.simkernel.core.Environment` resumes a process when the
+event it is waiting on is triggered.
+
+An :class:`Event` moves through three states:
+
+``pending``
+    created, not yet triggered; callbacks may be attached.
+``triggered``
+    a value (or exception) has been set and the event is scheduled on the
+    environment's queue.
+``processed``
+    the environment has popped the event and run its callbacks.
+
+Only the small set of event types needed by this project is implemented:
+plain events, timeouts, process-completion events, and ``AllOf``/``AnyOf``
+condition events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .core import Environment
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _PendingType:
+    """Sentinel for "event has no value yet"; compares only to itself."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+#: Unique sentinel used as the value of untriggered events.
+PENDING = _PendingType()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A single occurrence that processes can wait for.
+
+    Events are triggered with :meth:`succeed` or :meth:`fail`.  Triggering
+    schedules the event on the environment queue; when the environment
+    processes it, all attached callbacks run (in attach order).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event once it is processed.  Set to
+        #: ``None`` after processing, which doubles as the "processed" flag.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        # A failed event whose exception was delivered to at least one
+        # process is "defused"; undefused failures crash the simulation.
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether a value or exception has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the environment has already run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event receives the exception via
+        ``generator.throw``.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionEvent(Event):
+    """Base for events composed of other events (``AllOf`` / ``AnyOf``)."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        """Values of all *processed* sub-events, in construction order.
+
+        Timeouts are "triggered" from construction (their value is known up
+        front), so membership must be judged by whether the event has been
+        processed — i.e. actually happened — not by ``triggered``.
+        """
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finish(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect_values())
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* sub-events have triggered (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        self._count += 1
+        if not event._ok or self._count == len(self.events):
+            self._finish(event)
+
+
+class AnyOf(ConditionEvent):
+    """Triggers as soon as *any* sub-event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        self._count += 1
+        self._finish(event)

@@ -1,0 +1,86 @@
+"""Device performance specifications.
+
+Each spec converts a request (size, locality) into a *service time* in
+seconds.  The latency ladder mirrors the paper's testbed: DRAM copies in
+the microsecond range, a SATA SSD around a hundred microseconds per 4K
+with bandwidth limits, and a spinning disk with millisecond seeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemSpec", "SSDSpec", "HDDSpec", "MB", "KB"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MemSpec:
+    """DRAM copy costs (used for memory-backed cache stores and page hits).
+
+    ``touch_latency_us`` is the fixed per-operation cost (pointer chasing,
+    locking); ``bandwidth_mbps`` bounds bulk copies.
+    """
+
+    touch_latency_us: float = 0.5
+    bandwidth_mbps: float = 8000.0
+
+    def copy_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` of memory."""
+        return self.touch_latency_us * 1e-6 + nbytes / (self.bandwidth_mbps * MB)
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """A SATA-class SSD: asymmetric read/write costs, internal parallelism.
+
+    Defaults approximate the paper's Kingston V300 (SATA 3): ~450 MB/s
+    sequential read, ~300 MB/s write, ~90 us random-read latency.
+    """
+
+    read_latency_us: float = 90.0
+    write_latency_us: float = 70.0
+    read_bandwidth_mbps: float = 450.0
+    write_bandwidth_mbps: float = 300.0
+    channels: int = 4
+
+    def read_time(self, nbytes: int) -> float:
+        """Seconds to service one read of ``nbytes``."""
+        return self.read_latency_us * 1e-6 + nbytes / (self.read_bandwidth_mbps * MB)
+
+    def write_time(self, nbytes: int) -> float:
+        """Seconds to service one write of ``nbytes``."""
+        return self.write_latency_us * 1e-6 + nbytes / (self.write_bandwidth_mbps * MB)
+
+
+@dataclass(frozen=True)
+class HDDSpec:
+    """A single-spindle SATA disk with seek + rotation + transfer.
+
+    Sequential requests (next block follows the previous request) skip the
+    positioning cost, which is what makes streaming workloads (videoserver)
+    disk-friendly and random ones (mail) disk-bound.
+    """
+
+    avg_seek_ms: float = 4.0
+    rpm: float = 10000.0
+    transfer_mbps: float = 200.0
+
+    @property
+    def avg_rotation_s(self) -> float:
+        """Average rotational delay (half a revolution)."""
+        return 0.5 * 60.0 / self.rpm
+
+    def access_time(self, nbytes: int, sequential: bool, seek_factor: float = 1.0) -> float:
+        """Seconds to service one request.
+
+        ``seek_factor`` lets callers inject bounded randomness around the
+        average positioning cost (1.0 means exactly average).
+        """
+        transfer = nbytes / (self.transfer_mbps * MB)
+        if sequential:
+            return transfer
+        positioning = (self.avg_seek_ms * 1e-3 + self.avg_rotation_s) * seek_factor
+        return positioning + transfer

@@ -1,0 +1,43 @@
+"""Workload models: Filebench profiles, YCSB, and application models."""
+
+from .apps import MongoWorkload, MySQLWorkload, RedisWorkload
+from .base import CounterSnapshot, Workload, WorkloadCounters
+from .filebench import (
+    FileserverWorkload,
+    Fileset,
+    OLTPWorkload,
+    VarmailWorkload,
+    VideoserverWorkload,
+    WebproxyWorkload,
+    WebserverWorkload,
+)
+from .trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayWorkload,
+    dump_trace,
+    load_trace,
+)
+from .ycsb import YCSBWorkload
+
+__all__ = [
+    "CounterSnapshot",
+    "FileserverWorkload",
+    "Fileset",
+    "OLTPWorkload",
+    "MongoWorkload",
+    "MySQLWorkload",
+    "RedisWorkload",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayWorkload",
+    "dump_trace",
+    "load_trace",
+    "VarmailWorkload",
+    "VideoserverWorkload",
+    "WebproxyWorkload",
+    "WebserverWorkload",
+    "Workload",
+    "WorkloadCounters",
+    "YCSBWorkload",
+]

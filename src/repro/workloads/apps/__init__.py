@@ -1,0 +1,7 @@
+"""Application models used with YCSB (Redis, MySQL, MongoDB)."""
+
+from .mongodb import MongoWorkload
+from .mysql import MySQLWorkload
+from .redis import RedisWorkload
+
+__all__ = ["MongoWorkload", "MySQLWorkload", "RedisWorkload"]

@@ -1,0 +1,20 @@
+"""Filebench-style workload profiles (webserver, webproxy, varmail, videoserver)."""
+
+from .extra_profiles import FileserverWorkload, OLTPWorkload
+from .fileset import Fileset
+from .profiles import (
+    VarmailWorkload,
+    VideoserverWorkload,
+    WebproxyWorkload,
+    WebserverWorkload,
+)
+
+__all__ = [
+    "FileserverWorkload",
+    "Fileset",
+    "OLTPWorkload",
+    "VarmailWorkload",
+    "VideoserverWorkload",
+    "WebproxyWorkload",
+    "WebserverWorkload",
+]

@@ -1,0 +1,5 @@
+"""YCSB-style workload generator (Zipfian keys, read/update mixes)."""
+
+from .core import YCSBWorkload
+
+__all__ = ["YCSBWorkload"]

@@ -1,0 +1,92 @@
+"""YCSB-style key-value workload machinery.
+
+Provides the Zipfian request distribution and the read/update op mix; the
+data-store *behaviour* (where records live: anon memory, buffer pool,
+mmap'd files) is supplied by the application models in
+:mod:`repro.workloads.apps`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...simkernel import zipf_ranks
+from ..base import Workload
+
+__all__ = ["YCSBWorkload"]
+
+
+class YCSBWorkload(Workload):
+    """Base for YCSB-driven data stores.
+
+    Subclasses implement :meth:`do_read` / :meth:`do_update` (generators)
+    over ``nrecords`` records; this class draws keys (Zipfian, YCSB's
+    default ``theta = 0.99``) and applies the read fraction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nrecords: int,
+        read_fraction: float = 0.95,
+        zipf_theta: float = 0.99,
+        threads: int = 2,
+        cpu_us_per_op: float = 80.0,
+    ) -> None:
+        super().__init__(name, threads)
+        if not (0.0 <= read_fraction <= 1.0):
+            raise ValueError(f"read_fraction must be in [0,1], got {read_fraction}")
+        self.nrecords = nrecords
+        self.read_fraction = read_fraction
+        self.zipf_theta = zipf_theta
+        self.cpu_us_per_op = cpu_us_per_op
+        self._zipf = None
+        self.reads = 0
+        self.updates = 0
+
+    def start(self, container, streams) -> None:
+        super().start(container, streams)
+        self._zipf = zipf_ranks(self.rng, self.nrecords, self.zipf_theta)
+
+    def next_key(self) -> int:
+        """Draw the next record key (Zipfian rank, scattered).
+
+        YCSB scatters ranks over the keyspace with an FNV hash so the hot
+        records are not physically adjacent; we do the same so hot keys
+        spread across pages/blocks.
+        """
+        rank = self._zipf()
+        return _fnv_scatter(rank) % self.nrecords
+
+    def run_op(self, tid: int):
+        key = self.next_key()
+        if self.rng.random() < self.read_fraction:
+            self.reads += 1
+            stats = yield from self.do_read(key)
+        else:
+            self.updates += 1
+            stats = yield from self.do_update(key)
+        if self.cpu_us_per_op > 0:
+            yield self.env.timeout(self.cpu_us_per_op * 1e-6)
+        return stats
+
+    # -- to implement by app models ------------------------------------------
+
+    def do_read(self, key: int):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def do_update(self, key: int):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def _fnv_scatter(value: int) -> int:
+    """64-bit FNV-1a of an int (YCSB's key-scattering hash)."""
+    prime = 0x100000001B3
+    state = 0xCBF29CE484222325
+    for _ in range(8):
+        state ^= value & 0xFF
+        state = (state * prime) % (1 << 64)
+        value >>= 8
+    return state

@@ -1,0 +1,115 @@
+"""Tests for the cgroup subsystem and its cleancache event wiring."""
+
+import pytest
+
+from repro.cgroups import Cgroup, CgroupSubsystem
+from repro.core import CachePolicy
+
+
+class FakeCleancache:
+    """Records the control-path events the subsystem must emit."""
+
+    def __init__(self):
+        self.events = []
+        self._next = 1
+
+    def create_pool(self, name, policy):
+        self.events.append(("create", name, policy))
+        pool_id = self._next
+        self._next += 1
+        return pool_id
+
+    def destroy_pool(self, pool_id):
+        self.events.append(("destroy", pool_id))
+
+    def set_policy(self, pool_id, policy):
+        self.events.append(("set_policy", pool_id, policy))
+
+    def get_stats(self, pool_id):
+        self.events.append(("stats", pool_id))
+        return None
+
+
+class TestCgroup:
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            Cgroup(1, "c", 0, CachePolicy.none())
+
+    def test_usage_accounting(self):
+        cgroup = Cgroup(1, "c", 100, CachePolicy.none())
+        cgroup.file_blocks = 30
+        cgroup.anon.map_new(1, 1)
+        assert cgroup.usage_blocks == 31
+        assert cgroup.headroom() == 69
+
+    def test_set_limit(self):
+        cgroup = Cgroup(1, "c", 100, CachePolicy.none())
+        cgroup.set_limit(50)
+        assert cgroup.limit_blocks == 50
+        with pytest.raises(ValueError):
+            cgroup.set_limit(0)
+
+
+class TestCgroupSubsystem:
+    def test_create_assigns_pool_id(self):
+        cc = FakeCleancache()
+        subsystem = CgroupSubsystem(cc)
+        cgroup = subsystem.create("web", 100, CachePolicy.memory(50))
+        assert cgroup.pool_id == 1
+        assert cc.events[0][0] == "create"
+        assert len(subsystem) == 1
+
+    def test_duplicate_name_rejected(self):
+        subsystem = CgroupSubsystem(FakeCleancache())
+        subsystem.create("web", 100, CachePolicy.none())
+        with pytest.raises(ValueError):
+            subsystem.create("web", 100, CachePolicy.none())
+
+    def test_destroy_emits_event_and_clears(self):
+        cc = FakeCleancache()
+        subsystem = CgroupSubsystem(cc)
+        cgroup = subsystem.create("web", 100, CachePolicy.memory(50))
+        cgroup.anon.map_new(1, 1)
+        subsystem.destroy(cgroup)
+        assert ("destroy", 1) in cc.events
+        assert not cgroup.alive
+        assert cgroup.anon.resident_pages == 0
+        assert len(subsystem) == 0
+
+    def test_destroy_idempotent(self):
+        cc = FakeCleancache()
+        subsystem = CgroupSubsystem(cc)
+        cgroup = subsystem.create("web", 100, CachePolicy.none())
+        subsystem.destroy(cgroup)
+        subsystem.destroy(cgroup)  # second call is a no-op
+        assert sum(1 for e in cc.events if e[0] == "destroy") == 1
+
+    def test_set_policy_propagates(self):
+        cc = FakeCleancache()
+        subsystem = CgroupSubsystem(cc)
+        cgroup = subsystem.create("web", 100, CachePolicy.memory(50))
+        new_policy = CachePolicy.ssd(100)
+        subsystem.set_policy(cgroup, new_policy)
+        assert cgroup.policy is new_policy
+        assert ("set_policy", 1, new_policy) in cc.events
+
+    def test_by_name(self):
+        subsystem = CgroupSubsystem(FakeCleancache())
+        cgroup = subsystem.create("db", 100, CachePolicy.none())
+        assert subsystem.by_name("db") is cgroup
+        with pytest.raises(KeyError):
+            subsystem.by_name("missing")
+
+    def test_stats_delegates(self):
+        cc = FakeCleancache()
+        subsystem = CgroupSubsystem(cc)
+        cgroup = subsystem.create("web", 100, CachePolicy.memory(50))
+        subsystem.stats(cgroup)
+        assert ("stats", 1) in cc.events
+
+    def test_ids_monotonic(self):
+        subsystem = CgroupSubsystem(FakeCleancache())
+        c1 = subsystem.create("a", 10, CachePolicy.none())
+        subsystem.destroy(c1)
+        c2 = subsystem.create("b", 10, CachePolicy.none())
+        assert c2.cgroup_id > c1.cgroup_id

@@ -1,0 +1,103 @@
+"""Tests for the cleancache client and hypercall channel."""
+
+import pytest
+
+from repro.cleancache import CleancacheClient, HypercallChannel, HypercallCosts
+from repro.core import CachePolicy, DDConfig, DoubleDeckerCache
+from repro.simkernel import Environment
+
+BLK = 64 * 1024
+
+
+def run_gen(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def make_client(enabled=True):
+    env = Environment()
+    cache = DoubleDeckerCache(env, DDConfig(mem_capacity_mb=4), BLK)
+    vm_id = cache.register_vm("vm1")
+    client = CleancacheClient(env, cache, vm_id, BLK, enabled=enabled)
+    return env, cache, client
+
+
+class TestHypercallCosts:
+    def test_control_cost_linear_in_calls(self):
+        costs = HypercallCosts(call_us=2.0)
+        assert costs.control_cost(10) == pytest.approx(20e-6)
+
+    def test_data_cost_includes_payload(self):
+        costs = HypercallCosts(call_us=2.0, copy_us_per_kb=0.05)
+        assert costs.data_cost(1, 64 * 1024) == pytest.approx(
+            2e-6 + 64 * 0.05e-6
+        )
+
+    def test_channel_charges_time(self):
+        env = Environment()
+        channel = HypercallChannel(env)
+
+        def proc(env):
+            yield from channel.charge_data(100, 100 * BLK)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now > 0
+        assert channel.calls == 100
+
+
+class TestCleancacheClient:
+    def test_pool_lifecycle(self):
+        env, cache, client = make_client()
+        pool = client.create_pool("web", CachePolicy.memory(100))
+        assert pool is not None
+        client.set_policy(pool, CachePolicy.memory(50))
+        stats = client.get_stats(pool)
+        assert stats.pool_id == pool
+        client.destroy_pool(pool)
+        with pytest.raises(KeyError):
+            client.get_stats(pool)
+
+    def test_get_put_roundtrip_charges_time(self):
+        env, cache, client = make_client()
+        pool = client.create_pool("web", CachePolicy.memory(100))
+        stored = run_gen(env, client.put_many(pool, [(1, 0), (1, 1)]))
+        assert stored == 2
+        t0 = env.now
+        found = run_gen(env, client.get_many(pool, [(1, 0), (1, 1)]))
+        assert found == {(1, 0), (1, 1)}
+        assert env.now > t0  # hypercall + copy costs accrued
+
+    def test_disabled_client_is_noop(self):
+        env, cache, client = make_client(enabled=False)
+        assert client.create_pool("web", CachePolicy.memory(100)) is None
+        assert run_gen(env, client.put_many(None, [(1, 0)])) == 0
+        assert run_gen(env, client.get_many(None, [(1, 0)])) == set()
+        assert client.get_stats(None) is None
+
+    def test_empty_key_list_is_free(self):
+        env, cache, client = make_client()
+        pool = client.create_pool("web", CachePolicy.memory(100))
+        assert run_gen(env, client.get_many(pool, [])) == set()
+        assert env.now == 0
+
+    def test_flush_many(self):
+        env, cache, client = make_client()
+        pool = client.create_pool("web", CachePolicy.memory(100))
+        run_gen(env, client.put_many(pool, [(1, 0)]))
+        dropped = run_gen(env, client.flush_many(pool, [(1, 0), (1, 99)]))
+        assert dropped == 1
+
+    def test_flush_inode(self):
+        env, cache, client = make_client()
+        pool = client.create_pool("web", CachePolicy.memory(100))
+        run_gen(env, client.put_many(pool, [(1, 0), (1, 1), (2, 0)]))
+        dropped = run_gen(env, client.flush_inode(pool, 1))
+        assert dropped == 2
+
+    def test_migrate(self):
+        env, cache, client = make_client()
+        p1 = client.create_pool("a", CachePolicy.memory(50))
+        p2 = client.create_pool("b", CachePolicy.memory(50))
+        run_gen(env, client.put_many(p1, [(1, 0)]))
+        assert client.migrate(p1, p2, 1) == 1
+        assert run_gen(env, client.get_many(p2, [(1, 0)])) == {(1, 0)}

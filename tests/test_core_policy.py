@@ -1,0 +1,134 @@
+"""Tests for entitlement computation (the policy module)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CachePolicy, Pool, StoreKind, VMEntry
+from repro.core.policy import recompute_entitlements, vm_shares
+
+
+def build_vm(vm_id, weight, pool_specs):
+    """pool_specs: list of CachePolicy."""
+    vm = VMEntry(vm_id, f"vm{vm_id}", weight)
+    for idx, policy in enumerate(pool_specs):
+        pool = Pool(vm_id * 100 + idx, vm_id, f"c{idx}", policy)
+        vm.pools[pool.pool_id] = pool
+    return vm
+
+
+class TestVMShares:
+    def test_single_vm_gets_everything(self):
+        vm = build_vm(1, 100, [CachePolicy.memory(100)])
+        shares = vm_shares([vm], 1000, StoreKind.MEMORY)
+        assert shares == {1: 1000}
+
+    def test_weighted_split(self):
+        vm1 = build_vm(1, 33, [CachePolicy.memory(100)])
+        vm2 = build_vm(2, 67, [CachePolicy.memory(100)])
+        shares = vm_shares([vm1, vm2], 1000, StoreKind.MEMORY)
+        assert shares[1] == 330
+        assert shares[2] == 670
+
+    def test_vm_without_pools_on_store_excluded(self):
+        """An SSD-only VM must not dilute memory shares (Fig 13's VM3)."""
+        vm1 = build_vm(1, 60, [CachePolicy.memory(100)])
+        vm2 = build_vm(2, 40, [CachePolicy.memory(100)])
+        vm3 = build_vm(3, 100, [CachePolicy.ssd(100)])
+        shares = vm_shares([vm1, vm2, vm3], 1000, StoreKind.MEMORY)
+        assert shares[1] == 600
+        assert shares[2] == 400
+        assert 3 not in shares
+
+    def test_zero_weight_vm_excluded(self):
+        vm1 = build_vm(1, 0, [CachePolicy.memory(100)])
+        vm2 = build_vm(2, 50, [CachePolicy.memory(100)])
+        shares = vm_shares([vm1, vm2], 1000, StoreKind.MEMORY)
+        assert shares[2] == 1000
+
+    def test_zero_capacity(self):
+        vm = build_vm(1, 100, [CachePolicy.memory(100)])
+        shares = vm_shares([vm], 0, StoreKind.MEMORY)
+        assert shares.get(1, 0) == 0
+
+
+class TestRecompute:
+    def test_paper_figure5_configuration(self):
+        """VM1 33% <SSD,100>,<Mem,100>; VM2 67% mem 25/75 + SSD 100."""
+        vm1 = build_vm(1, 33, [CachePolicy.ssd(100), CachePolicy.memory(100)])
+        vm2 = build_vm(2, 67, [
+            CachePolicy.memory(25), CachePolicy.memory(75), CachePolicy.ssd(100),
+        ])
+        vms = {1: vm1, 2: vm2}
+        caps = {StoreKind.MEMORY: 3000, StoreKind.SSD: 9000}
+        vm_level = recompute_entitlements(vms, caps)
+
+        assert vm_level[(1, StoreKind.MEMORY)] == 990
+        assert vm_level[(2, StoreKind.MEMORY)] == 2010
+        assert vm_level[(1, StoreKind.SSD)] == 2970
+        assert vm_level[(2, StoreKind.SSD)] == 6030
+
+        vm1_pools = list(vm1.pools.values())
+        assert vm1_pools[0].entitlement[StoreKind.SSD] == 2970
+        assert vm1_pools[0].entitlement[StoreKind.MEMORY] == 0
+        assert vm1_pools[1].entitlement[StoreKind.MEMORY] == 990
+
+        vm2_pools = list(vm2.pools.values())
+        assert vm2_pools[0].entitlement[StoreKind.MEMORY] == 502  # 25%
+        assert vm2_pools[1].entitlement[StoreKind.MEMORY] == 1507  # 75%
+        assert vm2_pools[2].entitlement[StoreKind.SSD] == 6030
+
+    def test_policy_change_zeroes_old_store(self):
+        vm = build_vm(1, 100, [CachePolicy.memory(100)])
+        vms = {1: vm}
+        caps = {StoreKind.MEMORY: 100, StoreKind.SSD: 100}
+        recompute_entitlements(vms, caps)
+        pool = next(iter(vm.pools.values()))
+        assert pool.entitlement[StoreKind.MEMORY] == 100
+        pool.policy = CachePolicy.ssd(100)
+        recompute_entitlements(vms, caps)
+        assert pool.entitlement[StoreKind.MEMORY] == 0
+        assert pool.entitlement[StoreKind.SSD] == 100
+
+    def test_weights_not_summing_to_100_are_normalized(self):
+        vm = build_vm(1, 100, [CachePolicy.memory(10), CachePolicy.memory(30)])
+        vms = {1: vm}
+        recompute_entitlements(vms, {StoreKind.MEMORY: 400, StoreKind.SSD: 0})
+        pools = list(vm.pools.values())
+        assert pools[0].entitlement[StoreKind.MEMORY] == 100
+        assert pools[1].entitlement[StoreKind.MEMORY] == 300
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(  # per VM: (vm weight, list of pool mem weights)
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100),
+            st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                     max_size=4),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=100, max_value=100_000),
+)
+def test_entitlements_never_exceed_capacity(vm_specs, capacity):
+    """Sum of all pool entitlements must never exceed store capacity, and
+    each pool entitlement must be within its VM's share."""
+    vms = {}
+    for vm_idx, (weight, pool_weights) in enumerate(vm_specs, start=1):
+        vm = build_vm(vm_idx, weight,
+                      [CachePolicy.memory(w) for w in pool_weights])
+        vms[vm_idx] = vm
+    vm_level = recompute_entitlements(
+        vms, {StoreKind.MEMORY: capacity, StoreKind.SSD: 0}
+    )
+    total = 0
+    for vm in vms.values():
+        vm_share = vm_level[(vm.vm_id, StoreKind.MEMORY)]
+        pool_total = sum(
+            pool.entitlement[StoreKind.MEMORY] for pool in vm.pools.values()
+        )
+        assert pool_total <= vm_share
+        total += pool_total
+    assert total <= capacity

@@ -1,0 +1,135 @@
+"""Unit tests for cache pools and VM entries."""
+
+import pytest
+
+from repro.core import CachePolicy, Pool, StoreKind, VMEntry
+
+
+def make_pool(policy=None):
+    return Pool(1, 1, "test", policy or CachePolicy.memory(50))
+
+
+class TestPool:
+    def test_empty_pool(self):
+        pool = make_pool()
+        assert len(pool) == 0
+        assert pool.lookup(1, 0) is None
+
+    def test_insert_lookup_remove(self):
+        pool = make_pool()
+        pool.insert(10, 5, StoreKind.MEMORY)
+        assert pool.lookup(10, 5) is StoreKind.MEMORY
+        assert pool.used[StoreKind.MEMORY] == 1
+        assert pool.remove(10, 5) is StoreKind.MEMORY
+        assert pool.lookup(10, 5) is None
+        assert pool.used[StoreKind.MEMORY] == 0
+
+    def test_remove_absent_returns_none(self):
+        pool = make_pool()
+        assert pool.remove(1, 1) is None
+
+    def test_insert_replace_across_stores(self):
+        pool = make_pool(CachePolicy.hybrid(50, 50))
+        pool.insert(1, 0, StoreKind.MEMORY)
+        pool.insert(1, 0, StoreKind.SSD)
+        assert pool.lookup(1, 0) is StoreKind.SSD
+        assert pool.used[StoreKind.MEMORY] == 0
+        assert pool.used[StoreKind.SSD] == 1
+        assert len(pool) == 1
+
+    def test_fifo_order_is_insertion_order(self):
+        pool = make_pool()
+        for block in (3, 1, 2):
+            pool.insert(1, block, StoreKind.MEMORY)
+        assert pool.pop_oldest(StoreKind.MEMORY) == (1, 3)
+        assert pool.pop_oldest(StoreKind.MEMORY) == (1, 1)
+        assert pool.pop_oldest(StoreKind.MEMORY) == (1, 2)
+        assert pool.pop_oldest(StoreKind.MEMORY) is None
+
+    def test_pop_oldest_updates_index(self):
+        pool = make_pool()
+        pool.insert(1, 0, StoreKind.MEMORY)
+        pool.pop_oldest(StoreKind.MEMORY)
+        assert pool.lookup(1, 0) is None
+        assert 1 not in pool.files
+
+    def test_remove_inode_drops_all_blocks(self):
+        pool = make_pool()
+        for block in range(5):
+            pool.insert(7, block, StoreKind.MEMORY)
+        pool.insert(8, 0, StoreKind.MEMORY)
+        counts = pool.remove_inode(7)
+        assert counts[StoreKind.MEMORY] == 5
+        assert len(pool) == 1
+        assert pool.lookup(8, 0) is StoreKind.MEMORY
+
+    def test_drain(self):
+        pool = make_pool(CachePolicy.hybrid(50, 50))
+        pool.insert(1, 0, StoreKind.MEMORY)
+        pool.insert(1, 1, StoreKind.SSD)
+        counts = pool.drain()
+        assert counts[StoreKind.MEMORY] == 1
+        assert counts[StoreKind.SSD] == 1
+        assert len(pool) == 0
+        assert not pool.files
+
+    def test_snapshot_stats_reflects_usage(self):
+        pool = make_pool()
+        pool.insert(1, 0, StoreKind.MEMORY)
+        pool.entitlement[StoreKind.MEMORY] = 10
+        pool.stats.gets = 4
+        pool.stats.get_hits = 2
+        stats = pool.snapshot_stats()
+        assert stats.mem_used_blocks == 1
+        assert stats.mem_entitlement_blocks == 10
+        assert stats.hit_ratio == pytest.approx(0.5)
+
+    def test_iter_keys_oldest_first(self):
+        pool = make_pool()
+        pool.insert(1, 5, StoreKind.MEMORY)
+        pool.insert(1, 2, StoreKind.MEMORY)
+        assert list(pool.iter_keys(StoreKind.MEMORY)) == [(1, 5), (1, 2)]
+
+
+class TestVMEntry:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            VMEntry(1, "vm", -1)
+
+    def test_used_sums_pools(self):
+        vm = VMEntry(1, "vm", 100)
+        p1 = Pool(1, 1, "a", CachePolicy.memory(50))
+        p2 = Pool(2, 1, "b", CachePolicy.memory(50))
+        vm.pools = {1: p1, 2: p2}
+        p1.insert(1, 0, StoreKind.MEMORY)
+        p2.insert(1, 0, StoreKind.MEMORY)
+        p2.insert(1, 1, StoreKind.MEMORY)
+        assert vm.used(StoreKind.MEMORY) == 3
+        assert vm.used(StoreKind.SSD) == 0
+
+    def test_pools_on_filters_by_store(self):
+        vm = VMEntry(1, "vm", 100)
+        mem_pool = Pool(1, 1, "mem", CachePolicy.memory(50))
+        ssd_pool = Pool(2, 1, "ssd", CachePolicy.ssd(100))
+        none_pool = Pool(3, 1, "none", CachePolicy.none())
+        vm.pools = {1: mem_pool, 2: ssd_pool, 3: none_pool}
+        assert vm.pools_on(StoreKind.MEMORY) == [mem_pool]
+        assert vm.pools_on(StoreKind.SSD) == [ssd_pool]
+
+
+class TestCachePolicy:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CachePolicy(mem_weight=-1)
+
+    def test_factories(self):
+        assert CachePolicy.memory(30).weight_for(StoreKind.MEMORY) == 30
+        assert CachePolicy.ssd(40).weight_for(StoreKind.SSD) == 40
+        assert CachePolicy.none().uses_cache is False
+        hybrid = CachePolicy.hybrid(10, 20)
+        assert hybrid.is_hybrid
+        assert hybrid.uses_cache
+
+    def test_single_store_not_hybrid(self):
+        assert not CachePolicy.memory(10).is_hybrid
+        assert not CachePolicy.ssd(10).is_hybrid

@@ -1,0 +1,118 @@
+"""Smoke tests for the experiment harness (tiny scale, short windows).
+
+These guard the harness wiring — every experiment must run end-to-end,
+produce its tables/series, and keep its core shape — without the cost of
+the full benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    AppBehaviorExperiment,
+    CachingModesExperiment,
+    CooperativeExperiment,
+    DynamicContainersExperiment,
+    DynamicVMsExperiment,
+    FlexiblePolicyExperiment,
+    MotivationExperiment,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import TimeSeries
+
+
+class TestRunnerPlumbing:
+    def test_registry_covers_all_paper_artifacts(self):
+        ids = {cls.exp_id for cls in ALL_EXPERIMENTS.values()}
+        # Every evaluation table/figure of the paper appears exactly once.
+        assert ids == {
+            "FIG-1/FIG-2", "FIG-3/TAB-1", "FIG-8/FIG-9/TAB-2",
+            "FIG-10/FIG-11/TAB-3", "TAB-4", "FIG-12", "FIG-13",
+        }
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            MotivationExperiment(scale=0)
+
+    def test_result_summary_renders(self):
+        result = ExperimentResult("x", "desc")
+        result.add_table("t", ["a", "b"], [[1, 2.5]])
+        ts = TimeSeries("s")
+        ts.record(0, 1)
+        result.add_series("g/s", ts)
+        result.note("note text")
+        text = result.summary()
+        assert "== x ==" in text
+        assert "note text" in text
+        assert "2.50" in text
+
+    def test_scaling_helpers(self):
+        exp = MotivationExperiment(scale=0.5)
+        assert exp.mb(1000) == 500
+        assert exp.count(100) == 50
+        assert exp.secs(100) == 50
+        tiny = MotivationExperiment(scale=0.1)
+        assert tiny.secs(100) == 25  # floor at 0.25
+
+
+class TestMotivationSmoke:
+    def test_runs_and_shows_disproportion(self):
+        exp = MotivationExperiment(scale=0.125, duration_s=120)
+        result = exp.run()
+        assert "simultaneous_share_ratio" in result.scalars
+        assert result.scalars["simultaneous_share_ratio"] > 1.0
+        assert any(key.startswith("fig2a") for key in result.series)
+
+
+class TestAppBehaviorSmoke:
+    def test_table1_only_runs(self):
+        exp = AppBehaviorExperiment(scale=0.125, warmup_s=40, duration_s=60)
+        result = exp.run_table1_only()
+        headers, rows = result.rows["table1: guest metrics at the 1:1 split"]
+        assert len(rows) == 4
+        # Redis swaps, webserver does not.
+        assert result.scalars["redis_swap_mb"] > 0
+        assert result.scalars["webserver_swap_mb"] == 0
+
+
+class TestDynamicSmoke:
+    def test_containers_experiment_runs(self):
+        exp = DynamicContainersExperiment(scale=0.125, phase_s=80)
+        result = exp.run()
+        labels = {key.split("/", 1)[1] for key in result.series}
+        assert {"container1", "container2",
+                "container3-mem", "container3-ssd"} <= labels
+
+    def test_vms_experiment_runs(self):
+        exp = DynamicVMsExperiment(scale=0.125, phase_s=60)
+        result = exp.run()
+        labels = {key.split("/", 1)[1] for key in result.series}
+        assert {"vm1", "vm2", "vm3", "vm4"} <= labels
+        # VM1 held the whole (scaled) cache in phase 1.
+        vm1 = result.series["fig13/vm1"]
+        assert vm1.max() > 0.8 * exp.mb(2048)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "motivation" in out
+        assert "dynamic_vms" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_runs_one_experiment(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        code = main(["motivation", "--scale", "0.125", "--no-plots",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "motivation.txt").exists()
+        out = capsys.readouterr().out
+        assert "steady-state cache share" in out

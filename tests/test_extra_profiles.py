@@ -1,0 +1,84 @@
+"""Tests for the fileserver and OLTP workload profiles."""
+
+import pytest
+
+from repro import SimContext
+from repro.core import CachePolicy, DDConfig
+from repro.workloads import FileserverWorkload, OLTPWorkload
+
+
+def build(limit_mb=256):
+    ctx = SimContext(seed=37)
+    host = ctx.create_host()
+    host.install_doubledecker(DDConfig(mem_capacity_mb=128))
+    vm = host.create_vm("vm1", memory_mb=1024, vcpus=4)
+    container = vm.create_container("c", limit_mb, CachePolicy.memory(100))
+    return ctx, host, vm, container
+
+
+class TestFileserver:
+    def test_mixed_read_write(self):
+        ctx, host, vm, c = build()
+        workload = FileserverWorkload(nfiles=300, threads=1)
+        workload.start(c, ctx.streams)
+        ctx.run(until=30)
+        assert workload.counters.ops > 0
+        assert workload.counters.bytes_read > 0
+        assert workload.counters.bytes_written > 0
+        # Churn: files created and deleted.
+        assert vm.os.fs.deleted > 0
+
+    def test_write_heavier_than_webserver(self):
+        """The fileserver profile's write:read byte ratio must exceed the
+        webserver's (its defining property)."""
+        from repro.workloads import WebserverWorkload
+
+        ctx, host, vm, c = build()
+        fileserver = FileserverWorkload(nfiles=300, threads=1)
+        fileserver.start(c, ctx.streams)
+        ctx.run(until=30)
+        fs_ratio = (fileserver.counters.bytes_written
+                    / max(1, fileserver.counters.bytes_read))
+
+        ctx2, host2, vm2, c2 = build()
+        webserver = WebserverWorkload(nfiles=300, threads=1)
+        webserver.start(c2, ctx2.streams)
+        ctx2.run(until=30)
+        web_ratio = (webserver.counters.bytes_written
+                     / max(1, webserver.counters.bytes_read))
+        assert fs_ratio > web_ratio
+
+
+class TestOLTP:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OLTPWorkload(write_fraction=1.5)
+
+    def test_random_small_reads(self):
+        ctx, host, vm, c = build()
+        workload = OLTPWorkload(datafile_mb=512, threads=2,
+                                write_fraction=0.0)
+        workload.start(c, ctx.streams)
+        ctx.run(until=30)
+        assert workload.counters.ops > 0
+        assert workload.counters.bytes_written == 0
+        # Random single-block reads dominate (no sequential streaks).
+        assert host.hdd.stats.random_reads > host.hdd.stats.sequential_reads
+
+    def test_commits_fsync_the_log(self):
+        ctx, host, vm, c = build()
+        workload = OLTPWorkload(datafile_mb=256, threads=1,
+                                write_fraction=1.0, commit_every=1)
+        workload.start(c, ctx.streams)
+        ctx.run(until=30)
+        assert host.hdd.stats.writes > 0
+        assert workload.counters.bytes_written > 0
+
+    def test_datafile_larger_than_container_uses_hvcache(self):
+        ctx, host, vm, c = build(limit_mb=64)
+        workload = OLTPWorkload(datafile_mb=256, threads=2,
+                                write_fraction=0.1)
+        workload.start(c, ctx.streams)
+        ctx.run(until=60)
+        stats = c.cache_stats()
+        assert stats.puts_stored > 0  # overflow reached the 2nd chance

@@ -1,0 +1,65 @@
+"""Model-based property test: the page cache's per-cgroup LRU must behave
+exactly like a reference OrderedDict LRU under arbitrary op interleavings."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import PageCache
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "remove", "take"]),
+        st.integers(min_value=0, max_value=40),  # block id
+        st.integers(min_value=1, max_value=4),   # take count
+    ),
+    max_size=150,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_pagecache_lru_matches_reference(ops):
+    cache = PageCache()
+    model: "OrderedDict[int, None]" = OrderedDict()
+    cg = 1
+
+    for op, block, count in ops:
+        key = (1, block)
+        if op == "insert":
+            if block not in model:
+                cache.insert(key, cg)
+                model[block] = None
+        elif op == "lookup":
+            entry = cache.lookup(key)
+            if block in model:
+                assert entry is not None
+                model.move_to_end(block)
+            else:
+                assert entry is None
+        elif op == "remove":
+            removed = cache.remove(key)
+            if block in model:
+                assert removed is not None
+                del model[block]
+            else:
+                assert removed is None
+        else:  # take coldest
+            clean, dirty = cache.take_coldest(cg, count)
+            taken = [entry.block for entry in clean + dirty]
+            expected = []
+            for _ in range(min(count, len(model))):
+                cold, _ = model.popitem(last=False)
+                expected.append(cold)
+            assert taken == expected
+
+        # Invariants after every op.
+        assert len(cache) == len(model)
+        assert cache.cgroup_pages(cg) == len(model)
+        coldest = cache.coldest(cg)
+        if model:
+            assert coldest is not None
+            assert coldest.block == next(iter(model))
+        else:
+            assert coldest is None

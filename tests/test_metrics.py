@@ -1,0 +1,193 @@
+"""Tests for metrics containers and reporting."""
+
+import pytest
+
+from repro.metrics import (
+    MetricsRegistry,
+    Sampler,
+    SummaryStat,
+    TimeSeries,
+    ascii_plot,
+    format_series_csv,
+    format_table,
+)
+from repro.simkernel import Environment
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.record(0, 1.0)
+        ts.record(10, 2.0)
+        assert list(ts) == [(0, 1.0), (10, 2.0)]
+        assert len(ts) == 2
+        assert ts.last == 2.0
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(10, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(5, 2.0)
+
+    def test_value_at(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        ts.record(10, 2.0)
+        assert ts.value_at(-1) is None
+        assert ts.value_at(0) == 1.0
+        assert ts.value_at(5) == 1.0
+        assert ts.value_at(100) == 2.0
+
+    def test_mean_window(self):
+        ts = TimeSeries()
+        for t, v in [(0, 10), (10, 20), (20, 30)]:
+            ts.record(t, v)
+        assert ts.mean() == pytest.approx(20)
+        assert ts.mean(start=5) == pytest.approx(25)
+        assert ts.mean(start=5, end=15) == pytest.approx(20)
+        assert ts.mean(start=100) == 0.0
+
+    def test_max_window(self):
+        ts = TimeSeries()
+        for t, v in [(0, 10), (10, 50), (20, 30)]:
+            ts.record(t, v)
+        assert ts.max() == 50
+        assert ts.max(start=15) == 30
+
+    def test_resample(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        ts.record(10, 2.0)
+        out = ts.resample(5, end=10)
+        assert list(out) == [(0, 1.0), (5, 1.0), (10, 2.0)]
+        with pytest.raises(ValueError):
+            ts.resample(0)
+
+
+class TestSummaryStat:
+    def test_basic_stats(self):
+        stat = SummaryStat()
+        for v in (1.0, 2.0, 3.0):
+            stat.add(v)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.min == 1.0
+        assert stat.max == 3.0
+
+    def test_empty_mean_zero(self):
+        assert SummaryStat().mean == 0.0
+
+    def test_percentiles_reasonable(self):
+        stat = SummaryStat()
+        for v in range(1000):
+            stat.add(float(v))
+        assert stat.percentile(50) == pytest.approx(500, abs=50)
+        assert stat.percentile(0) <= stat.percentile(100)
+        with pytest.raises(ValueError):
+            stat.percentile(150)
+
+    def test_reservoir_bounded(self):
+        stat = SummaryStat(reservoir_size=100)
+        for v in range(10_000):
+            stat.add(float(v))
+        assert len(stat._reservoir) == 100
+        assert stat.count == 10_000
+
+    def test_merge(self):
+        a, b = SummaryStat(), SummaryStat()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max == 3.0
+
+
+class TestRegistry:
+    def test_counters(self):
+        reg = MetricsRegistry()
+        reg.incr("a.b", 2)
+        reg.incr("a.b")
+        reg.incr("a.c", 5)
+        assert reg.counter("a.b") == 3
+        assert reg.counter("missing") == 0
+        assert reg.counters("a.") == {"a.b": 3, "a.c": 5}
+
+    def test_series_create_on_use(self):
+        reg = MetricsRegistry()
+        reg.record("s", 0, 1.0)
+        reg.record("s", 1, 2.0)
+        assert len(reg.series("s")) == 2
+        assert "s" in reg.all_series()
+
+    def test_summaries(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 1.5)
+        assert reg.summary("lat").count == 1
+
+    def test_names(self):
+        reg = MetricsRegistry()
+        reg.incr("c")
+        reg.record("s", 0, 1)
+        reg.observe("m", 1)
+        kinds = {kind for kind, _ in reg.names()}
+        assert kinds == {"counter", "series", "summary"}
+
+
+class TestSampler:
+    def test_periodic_sampling(self):
+        env = Environment()
+        reg = MetricsRegistry()
+        sampler = Sampler(env, reg, interval=10)
+        state = {"v": 0}
+        sampler.add("gauge", lambda: state["v"])
+        sampler.start()
+
+        def mutate(env):
+            yield env.timeout(15)
+            state["v"] = 7
+
+        env.process(mutate(env))
+        env.run(until=35)
+        series = reg.series("gauge")
+        assert series.value_at(0) == 0
+        assert series.value_at(30) == 7
+
+    def test_interval_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Sampler(env, MetricsRegistry(), interval=0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1.5], ["long-name", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") for line in lines)
+        assert "long-name" in text
+        assert "2.25" in text
+
+    def test_format_table_title(self):
+        text = format_table(["h"], [["x"]], title="T")
+        assert text.startswith("T\n")
+
+    def test_ascii_plot_renders(self):
+        ts = TimeSeries("s")
+        for t in range(10):
+            ts.record(t * 10, t * 5.0)
+        art = ascii_plot({"s": ts}, width=40, height=8, title="plot")
+        assert "plot" in art
+        assert "legend" in art
+
+    def test_ascii_plot_empty(self):
+        assert "(no data)" in ascii_plot({})
+
+    def test_series_csv(self):
+        ts = TimeSeries("a")
+        ts.record(0, 1.0)
+        ts.record(10, 2.0)
+        csv = format_series_csv({"a": ts}, step=10)
+        lines = csv.splitlines()
+        assert lines[0] == "time,a"
+        assert lines[1] == "0,1.00"
+        assert lines[2] == "10,2.00"

@@ -1,0 +1,162 @@
+"""Unit tests for the guest page cache data structure."""
+
+import pytest
+
+from repro.mem import PageCache
+from repro.mem.page import SeqCounter
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        pc = PageCache()
+        pc.insert((1, 0), cgroup_id=1)
+        entry = pc.lookup((1, 0))
+        assert entry is not None
+        assert entry.cgroup_id == 1
+        assert not entry.dirty
+
+    def test_double_insert_rejected(self):
+        pc = PageCache()
+        pc.insert((1, 0), 1)
+        with pytest.raises(ValueError):
+            pc.insert((1, 0), 1)
+
+    def test_lookup_miss(self):
+        pc = PageCache()
+        assert pc.lookup((9, 9)) is None
+
+    def test_peek_does_not_bump(self):
+        pc = PageCache()
+        entry = pc.insert((1, 0), 1)
+        seq0 = entry.seq
+        pc.peek((1, 0))
+        assert entry.seq == seq0
+        pc.lookup((1, 0))
+        assert entry.seq > seq0
+
+    def test_remove(self):
+        pc = PageCache()
+        pc.insert((1, 0), 1)
+        assert pc.remove((1, 0)) is not None
+        assert pc.remove((1, 0)) is None
+        assert len(pc) == 0
+
+    def test_cgroup_page_accounting(self):
+        pc = PageCache()
+        pc.insert((1, 0), 1)
+        pc.insert((1, 1), 1)
+        pc.insert((2, 0), 2)
+        assert pc.cgroup_pages(1) == 2
+        assert pc.cgroup_pages(2) == 1
+        assert pc.cgroup_pages(3) == 0
+
+
+class TestDirtyTracking:
+    def test_mark_dirty_and_clean(self):
+        pc = PageCache()
+        entry = pc.insert((1, 0), 1)
+        pc.mark_dirty(entry, now=5.0)
+        assert entry.dirty
+        assert entry.dirty_since == 5.0
+        assert (1, 0) in pc.dirty
+        pc.mark_clean(entry)
+        assert not entry.dirty
+        assert (1, 0) not in pc.dirty
+
+    def test_mark_dirty_idempotent(self):
+        pc = PageCache()
+        entry = pc.insert((1, 0), 1)
+        pc.mark_dirty(entry, now=1.0)
+        pc.mark_dirty(entry, now=9.0)
+        assert entry.dirty_since == 1.0  # first-dirtied time preserved
+
+    def test_expired_dirty_respects_age_and_order(self):
+        pc = PageCache()
+        for i, t in enumerate((0.0, 10.0, 20.0)):
+            entry = pc.insert((1, i), 1)
+            pc.mark_dirty(entry, now=t)
+        expired = pc.expired_dirty(now=35.0, max_age=30.0, limit=10)
+        assert [e.key for e in expired] == [(1, 0)]
+        expired = pc.expired_dirty(now=100.0, max_age=30.0, limit=2)
+        assert [e.key for e in expired] == [(1, 0), (1, 1)]
+
+    def test_dirty_of_inode(self):
+        pc = PageCache()
+        e1 = pc.insert((1, 0), 1)
+        pc.insert((1, 1), 1)
+        e2 = pc.insert((2, 0), 1)
+        pc.mark_dirty(e1, 0.0)
+        pc.mark_dirty(e2, 0.0)
+        dirty = pc.dirty_of_inode(1, [(1, 0), (1, 1)])
+        assert [e.key for e in dirty] == [(1, 0)]
+
+    def test_remove_drops_dirty_entry(self):
+        pc = PageCache()
+        entry = pc.insert((1, 0), 1)
+        pc.mark_dirty(entry, 0.0)
+        pc.remove((1, 0))
+        assert len(pc.dirty) == 0
+
+
+class TestReclaimSupport:
+    def test_coldest_is_lru_end(self):
+        pc = PageCache()
+        pc.insert((1, 0), 1)
+        pc.insert((1, 1), 1)
+        pc.lookup((1, 0))  # bump 0 -> 1 is now coldest
+        assert pc.coldest(1).key == (1, 1)
+
+    def test_coldest_cgroup_across_groups(self):
+        pc = PageCache()
+        pc.insert((1, 0), 1)
+        pc.insert((2, 0), 2)
+        pc.lookup((1, 0))  # cgroup 1's page is hotter
+        assert pc.coldest_cgroup() == 2
+
+    def test_take_coldest_splits_clean_dirty(self):
+        pc = PageCache()
+        e0 = pc.insert((1, 0), 1)
+        pc.insert((1, 1), 1)
+        pc.mark_dirty(e0, 0.0)
+        clean, dirty = pc.take_coldest(1, 2)
+        assert [e.key for e in dirty] == [(1, 0)]
+        assert [e.key for e in clean] == [(1, 1)]
+        assert len(pc) == 0
+        assert len(pc.dirty) == 0
+
+    def test_take_coldest_respects_count(self):
+        pc = PageCache()
+        for i in range(10):
+            pc.insert((1, i), 1)
+        clean, dirty = pc.take_coldest(1, 3)
+        assert len(clean) + len(dirty) == 3
+        assert len(pc) == 7
+        # Coldest (oldest inserted) went first.
+        assert [e.key for e in clean] == [(1, 0), (1, 1), (1, 2)]
+
+    def test_remove_inode_with_hint(self):
+        pc = PageCache()
+        for i in range(3):
+            pc.insert((1, i), 1)
+        pc.insert((2, 0), 1)
+        removed = pc.remove_inode(1, [(1, 0), (1, 1), (1, 2)])
+        assert len(removed) == 3
+        assert len(pc) == 1
+
+    def test_remove_inode_without_hint_scans(self):
+        pc = PageCache()
+        for i in range(3):
+            pc.insert((1, i), 1)
+        removed = pc.remove_inode(1)
+        assert len(removed) == 3
+
+
+class TestSharedSeq:
+    def test_shared_counter(self):
+        seq = SeqCounter()
+        pc = PageCache(seq)
+        pc.insert((1, 0), 1)
+        assert seq.value == 1
+        assert seq.next() == 2
+        pc.lookup((1, 0))
+        assert seq.value == 3

@@ -1,0 +1,135 @@
+"""Unit and property tests for the radix tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RadixTree
+
+
+class TestRadixBasics:
+    def test_empty_tree(self):
+        tree = RadixTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.get(0) is None
+        assert 5 not in tree
+
+    def test_insert_get(self):
+        tree = RadixTree()
+        tree.insert(42, "x")
+        assert tree.get(42) == "x"
+        assert 42 in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces(self):
+        tree = RadixTree()
+        tree.insert(7, "old")
+        tree.insert(7, "new")
+        assert tree.get(7) == "new"
+        assert len(tree) == 1
+
+    def test_negative_key_rejected(self):
+        tree = RadixTree()
+        with pytest.raises(ValueError):
+            tree.insert(-1, "x")
+
+    def test_none_value_rejected(self):
+        tree = RadixTree()
+        with pytest.raises(ValueError):
+            tree.insert(1, None)
+
+    def test_get_default(self):
+        tree = RadixTree()
+        assert tree.get(9, default="fallback") == "fallback"
+
+    def test_remove_returns_value(self):
+        tree = RadixTree()
+        tree.insert(3, "v")
+        assert tree.remove(3) == "v"
+        assert tree.remove(3) is None
+        assert len(tree) == 0
+
+    def test_growth_preserves_small_keys(self):
+        tree = RadixTree()
+        tree.insert(1, "small")
+        tree.insert(10**9, "big")
+        assert tree.get(1) == "small"
+        assert tree.get(10**9) == "big"
+
+    def test_items_sorted(self):
+        tree = RadixTree()
+        keys = [500, 3, 64, 4096, 0, 2**30]
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert all(v == k * 2 for k, v in tree.items())
+
+    def test_clear(self):
+        tree = RadixTree()
+        for key in range(100):
+            tree.insert(key, key)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+
+    def test_remove_prunes_to_empty(self):
+        tree = RadixTree()
+        tree.insert(123456, "x")
+        tree.remove(123456)
+        assert tree._root is None  # fully pruned, no leak
+
+    def test_dense_range(self):
+        tree = RadixTree()
+        for key in range(1000):
+            tree.insert(key, key)
+        assert len(tree) == 1000
+        for key in range(1000):
+            assert tree.get(key) == key
+        for key in range(0, 1000, 2):
+            tree.remove(key)
+        assert len(tree) == 500
+        assert tree.get(2) is None
+        assert tree.get(3) == 3
+
+    def test_keys_iterator(self):
+        tree = RadixTree()
+        tree.insert(5, "a")
+        tree.insert(1, "b")
+        assert list(tree.keys()) == [1, 5]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=2**36), st.integers(),
+                       max_size=200))
+def test_radix_matches_dict(model):
+    """The radix tree must behave exactly like a dict over int keys."""
+    tree = RadixTree()
+    for key, value in model.items():
+        tree.insert(key, value + 1)  # +1 avoids forbidden None-ish issues
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.get(key) == value + 1
+    assert dict(tree.items()) == {k: v + 1 for k, v in model.items()}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "remove"]),
+                  st.integers(min_value=0, max_value=5000)),
+        max_size=300,
+    )
+)
+def test_radix_random_ops_match_dict(ops):
+    """Random interleavings of insert/remove stay consistent with a dict."""
+    tree = RadixTree()
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key)
+            model[key] = key
+        else:
+            assert tree.remove(key) == model.pop(key, None)
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model

@@ -1,0 +1,249 @@
+"""Tests for the declarative scenario builder."""
+
+import pytest
+
+from repro.core import CachePolicy
+from repro.experiments.scenarios import (
+    Scenario,
+    ScenarioResult,
+    WORKLOAD_TYPES,
+    parse_policy,
+)
+
+
+class TestParsePolicy:
+    def test_none(self):
+        assert parse_policy(None).uses_cache is False
+        assert parse_policy("none").uses_cache is False
+
+    def test_mem_ssd(self):
+        assert parse_policy("mem:60").mem_weight == 60
+        assert parse_policy("ssd:100").ssd_weight == 100
+
+    def test_hybrid(self):
+        policy = parse_policy("hybrid:40:60")
+        assert policy.mem_weight == 40
+        assert policy.ssd_weight == 60
+        assert policy.is_hybrid
+
+    def test_passthrough(self):
+        policy = CachePolicy.memory(5)
+        assert parse_policy(policy) is policy
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_policy("mem")
+        with pytest.raises(ValueError):
+            parse_policy("quantum:50")
+        with pytest.raises(ValueError):
+            parse_policy("hybrid:40")
+
+
+class TestDeclaration:
+    def test_unknown_cache_kind(self):
+        with pytest.raises(ValueError):
+            Scenario().cache("magic")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            Scenario().vm("v", 512).container(
+                "v", "c", 128, workload=("quake", {})
+            )
+
+    def test_unknown_event_action(self):
+        with pytest.raises(ValueError):
+            Scenario().at(10, "explode")
+
+    def test_no_vms_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario().run()
+
+    def test_container_references_unknown_vm(self):
+        scenario = Scenario().vm("v", 512).container("ghost", "c", 128)
+        with pytest.raises(ValueError):
+            scenario.run(warmup_s=1, duration_s=1)
+
+    def test_registry_covers_all_profiles(self):
+        assert {"webserver", "webproxy", "varmail", "videoserver",
+                "fileserver", "oltp", "redis", "mysql",
+                "mongodb"} <= set(WORKLOAD_TYPES)
+
+
+class TestExecution:
+    def test_basic_scenario_runs(self):
+        scenario = (
+            Scenario(seed=3)
+            .cache("doubledecker", mem_mb=128)
+            .vm("vm1", memory_mb=1024)
+            .container("vm1", "web", 128, policy="mem:60",
+                       workload=("webserver", {"nfiles": 400, "threads": 1}))
+            .container("vm1", "mail", 128, policy="mem:40",
+                       workload=("varmail", {"nfiles": 400, "threads": 1}))
+        )
+        result = scenario.run(warmup_s=20, duration_s=40)
+        assert isinstance(result, ScenarioResult)
+        assert result.rates["web"]["ops_per_s"] > 0
+        assert result.rates["mail"]["ops_per_s"] > 0
+        assert "web" in result.series
+        text = result.table()
+        assert "web" in text and "mail" in text
+
+    def test_global_cache_scenario(self):
+        scenario = (
+            Scenario(seed=3)
+            .cache("global", capacity_mb=64)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "web", 64,
+                       workload=("webserver", {"nfiles": 300, "threads": 1}))
+        )
+        result = scenario.run(warmup_s=10, duration_s=20)
+        assert result.rates["web"]["ops_per_s"] > 0
+
+    def test_null_cache_scenario(self):
+        scenario = (
+            Scenario(seed=3)
+            .cache("none")
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "web", 64,
+                       workload=("webserver", {"nfiles": 300, "threads": 1}))
+        )
+        result = scenario.run(warmup_s=10, duration_s=20)
+        assert result.cache_stats["web"] is None or \
+            result.cache_stats["web"].get_hits == 0
+
+    def test_delayed_container_start(self):
+        scenario = (
+            Scenario(seed=5)
+            .cache("doubledecker", mem_mb=64)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "late", 64, policy="mem:100",
+                       workload=("webserver", {"nfiles": 200, "threads": 1}),
+                       start_at=30.0)
+        )
+        result = scenario.run(warmup_s=40, duration_s=20)
+        assert result.rates["late"]["ops_per_s"] > 0
+
+    def test_set_policy_event_applies(self):
+        scenario = (
+            Scenario(seed=5)
+            .cache("doubledecker", mem_mb=64, ssd_mb=1024)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "web", 64, policy="mem:100",
+                       workload=("webserver", {"nfiles": 300, "threads": 1}))
+            .at(15, "set_policy", container="web", policy="ssd:100")
+        )
+        result = scenario.run(warmup_s=20, duration_s=20)
+        stats = result.cache_stats["web"]
+        assert stats.ssd_entitlement_blocks > 0
+        assert stats.mem_entitlement_blocks == 0
+
+    def test_set_vm_weight_and_capacity_events(self):
+        scenario = (
+            Scenario(seed=5)
+            .cache("doubledecker", mem_mb=64)
+            .vm("vm1", memory_mb=512, weight=100)
+            .container("vm1", "web", 64, policy="mem:100",
+                       workload=("webserver", {"nfiles": 300, "threads": 1}))
+            .at(10, "set_vm_weight", vm="vm1", weight=50)
+            .at(12, "set_capacity", store="mem", mb=128)
+        )
+        result = scenario.run(warmup_s=15, duration_s=15)
+        stats = result.cache_stats["web"]
+        # New capacity (128 MB) fully entitled to the only VM/pool.
+        assert stats.mem_entitlement_blocks == (128 << 20) // (64 << 10)
+
+    def test_custom_callable_event(self):
+        seen = {}
+
+        def probe(runtime):
+            seen["containers"] = sorted(runtime["containers"])
+
+        scenario = (
+            Scenario(seed=5)
+            .cache("doubledecker", mem_mb=64)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "c", 64, policy="mem:100")
+            .at(5, probe)
+        )
+        scenario.run(warmup_s=8, duration_s=8)
+        assert seen["containers"] == ["c"]
+
+    def test_determinism(self):
+        def build():
+            return (
+                Scenario(seed=9)
+                .cache("doubledecker", mem_mb=64)
+                .vm("vm1", memory_mb=512)
+                .container("vm1", "web", 64, policy="mem:100",
+                           workload=("webserver",
+                                     {"nfiles": 300, "threads": 1}))
+            )
+
+        r1 = build().run(warmup_s=10, duration_s=30)
+        r2 = build().run(warmup_s=10, duration_s=30)
+        assert r1.rates["web"]["ops_per_s"] == r2.rates["web"]["ops_per_s"]
+
+
+class TestStaticPartitions:
+    def test_partition_mb_caps_static_cache(self):
+        scenario = (
+            Scenario(seed=3)
+            .cache("static", capacity_mb=64)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "web", 64, partition_mb=16,
+                       workload=("webserver", {"nfiles": 600, "threads": 1}))
+        )
+        result = scenario.run(warmup_s=15, duration_s=20)
+        stats = result.cache_stats["web"]
+        assert stats.puts_stored > 0
+        assert stats.mem_used_blocks <= (16 << 20) // (64 << 10)
+
+    def test_partition_ignored_on_other_caches(self):
+        scenario = (
+            Scenario(seed=3)
+            .cache("doubledecker", mem_mb=64)
+            .vm("vm1", memory_mb=512)
+            .container("vm1", "web", 64, policy="mem:100", partition_mb=16,
+                       workload=("webserver", {"nfiles": 300, "threads": 1}))
+        )
+        result = scenario.run(warmup_s=10, duration_s=15)
+        assert result.rates["web"]["ops_per_s"] > 0
+
+
+class TestFromDict:
+    def test_full_spec_roundtrip(self):
+        spec = {
+            "seed": 7,
+            "cache": {"kind": "doubledecker", "mem_mb": 64, "ssd_mb": 512},
+            "vms": [
+                {"name": "vm1", "memory_mb": 512, "weight": 100,
+                 "containers": [
+                     {"name": "web", "limit_mb": 64, "policy": "mem:100",
+                      "workload": {"type": "webserver", "nfiles": 300,
+                                   "threads": 1}},
+                 ]},
+            ],
+            "events": [
+                {"at": 10, "action": "set_policy", "container": "web",
+                 "policy": "ssd:100"},
+            ],
+        }
+        result = Scenario.from_dict(spec).run(warmup_s=15, duration_s=15)
+        assert result.rates["web"]["ops_per_s"] > 0
+        stats = result.cache_stats["web"]
+        assert stats.ssd_entitlement_blocks > 0
+
+    def test_json_compatibility(self):
+        import json
+
+        spec = json.loads(json.dumps({
+            "cache": {"kind": "none"},
+            "vms": [{"name": "v", "memory_mb": 256,
+                     "containers": [{"name": "c", "limit_mb": 64}]}],
+        }))
+        result = Scenario.from_dict(spec).run(warmup_s=2, duration_s=2)
+        assert "c" in result.cache_stats
+
+    def test_defaults(self):
+        scenario = Scenario.from_dict({"vms": [{"name": "v", "memory_mb": 256}]})
+        assert scenario.seed == 42

@@ -1,0 +1,182 @@
+"""Unit tests for simulation processes (generators, interrupts, returns)."""
+
+import pytest
+
+from repro.simkernel import Environment, Interrupt
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_return_value_propagates(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1)
+            return 99
+
+        def parent(env, out):
+            value = yield env.process(child(env))
+            out.append(value)
+
+        out = []
+        env.process(parent(env, out))
+        env.run(until=5)
+        assert out == [99]
+
+    def test_process_is_alive_until_done(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(3)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run(until=5)
+        assert not process.is_alive
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env, out):
+            try:
+                yield env.process(bad(env))
+            except ValueError as exc:
+                out.append(str(exc))
+
+        out = []
+        env.process(waiter(env, out))
+        env.run(until=5)
+        assert out == ["inner"]
+
+    def test_unwaited_failure_crashes_simulation(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("lost")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="lost"):
+            env.run(until=5)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        process = env.process(bad(env))
+        with pytest.raises(RuntimeError, match="not an Event"):
+            env.run(until=1)
+
+    def test_processes_share_clock(self):
+        env = Environment()
+        stamps = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            stamps.append(env.now)
+
+        env.process(proc(env, 1))
+        env.process(proc(env, 2))
+        env.run(until=5)
+        assert stamps == [1.0, 2.0]
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        out = []
+        trigger = env.event()
+        trigger.succeed("early")
+
+        def late(env):
+            yield env.timeout(1)
+            value = yield trigger
+            out.append(value)
+
+        env.process(late(env))
+        env.run(until=5)
+        assert out == ["early"]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        out = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                out.append((env.now, interrupt.cause))
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run(until=10)
+        assert out == [(2.0, "wake up")]
+
+    def test_interrupting_dead_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        process = env.process(quick(env))
+        env.run(until=5)
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        out = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            out.append(env.now)
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run(until=10)
+        assert out == [3.0]
+
+    def test_interrupt_detaches_from_original_event(self):
+        """After an interrupt, the original awaited event must not resume
+        the process a second time."""
+        env = Environment()
+        resumes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(5)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield env.timeout(10)
+
+        def killer(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run(until=20)
+        assert resumes == ["interrupt"]

@@ -1,0 +1,147 @@
+"""Tests for device models: HDD, SSD, latency specs, queueing."""
+
+import pytest
+
+from repro.simkernel import Environment, RandomStreams
+from repro.storage import HDD, KB, MB, SSD, HDDSpec, MemSpec, SSDSpec
+
+BLK = 64 * KB
+
+
+def run_gen(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestSpecs:
+    def test_mem_copy_time_scales_with_size(self):
+        spec = MemSpec()
+        assert spec.copy_time(2 * MB) > spec.copy_time(1 * MB)
+        assert spec.copy_time(0) == pytest.approx(spec.touch_latency_us * 1e-6)
+
+    def test_ssd_read_write_asymmetry(self):
+        spec = SSDSpec()
+        # Writes have lower base latency but lower bandwidth.
+        big = 8 * MB
+        assert spec.write_time(big) > spec.read_time(big)
+
+    def test_hdd_sequential_skips_positioning(self):
+        spec = HDDSpec()
+        seq = spec.access_time(1 * MB, sequential=True)
+        rand = spec.access_time(1 * MB, sequential=False)
+        assert rand > seq
+        assert seq == pytest.approx(1 * MB / (spec.transfer_mbps * MB))
+
+    def test_hdd_rotation_from_rpm(self):
+        spec = HDDSpec(rpm=6000)  # 100 rev/s -> half rev = 5 ms
+        assert spec.avg_rotation_s == pytest.approx(0.005)
+
+
+class TestHDD:
+    def make(self):
+        env = Environment()
+        disk = HDD(env, BLK, rng=RandomStreams(0).stream("hdd"))
+        return env, disk
+
+    def test_read_takes_time(self):
+        env, disk = self.make()
+        run_gen(env, disk.read(0, 16))
+        assert env.now > 0
+        assert disk.stats.reads == 1
+        assert disk.stats.blocks_read == 16
+
+    def test_sequential_detection(self):
+        env, disk = self.make()
+        run_gen(env, disk.read(0, 16))
+        run_gen(env, disk.read(16, 16))  # continues where we left off
+        assert disk.stats.sequential_reads == 1
+        assert disk.stats.random_reads == 1
+
+    def test_sequential_faster_than_random(self):
+        env, disk = self.make()
+        run_gen(env, disk.read(0, 16))
+        t0 = env.now
+        run_gen(env, disk.read(16, 16))
+        seq_time = env.now - t0
+        t0 = env.now
+        run_gen(env, disk.read(10_000, 16))
+        rand_time = env.now - t0
+        assert rand_time > seq_time
+
+    def test_single_spindle_serializes(self):
+        env, disk = self.make()
+        done = []
+
+        def reader(env, disk, tag):
+            yield from disk.read(tag * 1000, 16)
+            done.append((tag, env.now))
+
+        env.process(reader(env, disk, 1))
+        env.process(reader(env, disk, 2))
+        env.run()
+        assert len(done) == 2
+        assert done[1][1] > done[0][1]  # second waited for the first
+
+    def test_zero_block_io_is_free(self):
+        env, disk = self.make()
+        run_gen(env, disk.read(0, 0))
+        assert env.now == 0
+        assert disk.stats.reads == 0
+
+    def test_writes_counted(self):
+        env, disk = self.make()
+        run_gen(env, disk.write(0, 4))
+        assert disk.stats.writes == 1
+        assert disk.stats.blocks_written == 4
+
+    def test_utilization_bounded(self):
+        env, disk = self.make()
+        run_gen(env, disk.read(0, 160))
+        assert 0.0 < disk.utilization() <= 1.0
+
+
+class TestSSD:
+    def test_channel_parallelism(self):
+        env = Environment()
+        ssd = SSD(env, BLK, spec=SSDSpec(channels=4))
+        done = []
+
+        def reader(env, ssd, tag):
+            yield from ssd.read(tag, 1)
+            done.append(env.now)
+
+        for tag in range(4):
+            env.process(reader(env, ssd, tag))
+        env.run()
+        # All four run in parallel: all finish at the same instant.
+        assert len(set(done)) == 1
+
+    def test_queueing_beyond_channels(self):
+        env = Environment()
+        ssd = SSD(env, BLK, spec=SSDSpec(channels=1))
+        done = []
+
+        def reader(env, ssd, tag):
+            yield from ssd.read(tag, 1)
+            done.append(env.now)
+
+        env.process(reader(env, ssd, 0))
+        env.process(reader(env, ssd, 1))
+        env.run()
+        assert done[1] == pytest.approx(2 * done[0])
+
+    def test_read_faster_than_hdd_random(self):
+        env = Environment()
+        ssd = SSD(env, BLK)
+        disk = HDD(env, BLK, rng=RandomStreams(0).stream("h"))
+        t0 = env.now
+        run_gen(env, ssd.read(0, 1))
+        ssd_time = env.now - t0
+        t0 = env.now
+        run_gen(env, disk.read(99999, 1))
+        hdd_time = env.now - t0
+        assert ssd_time < hdd_time / 10
+
+    def test_block_bytes_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SSD(env, 0)

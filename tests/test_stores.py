@@ -1,0 +1,83 @@
+"""Tests for cache store backends (memory costs, SSD async writes)."""
+
+import pytest
+
+from repro.core.stores import MemBackend, SSDBackend, contiguous_runs
+from repro.simkernel import Environment
+from repro.storage import SSD, SSDSpec
+
+BLK = 64 * 1024
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert contiguous_runs([]) == []
+
+    def test_single(self):
+        assert contiguous_runs([(1, 5)]) == [(5, 1)]
+
+    def test_merges_adjacent(self):
+        keys = [(1, 0), (1, 1), (1, 2), (1, 5), (1, 6)]
+        assert contiguous_runs(keys) == [(0, 3), (5, 2)]
+
+    def test_does_not_merge_across_files(self):
+        keys = [(1, 0), (1, 1), (2, 2), (2, 3)]
+        assert contiguous_runs(keys) == [(0, 2), (2, 2)]
+
+    def test_unsorted_input(self):
+        keys = [(1, 2), (1, 0), (1, 1)]
+        assert contiguous_runs(keys) == [(0, 3)]
+
+
+class TestMemBackend:
+    def test_costs_scale_with_blocks(self):
+        backend = MemBackend(BLK)
+        assert backend.read_cost(2) > backend.read_cost(1)
+        assert backend.read_cost(0) == 0.0
+        assert backend.write_cost(0) == 0.0
+
+
+class TestSSDBackend:
+    def make(self, buffer_mb=1.0):
+        env = Environment()
+        device = SSD(env, BLK, spec=SSDSpec())
+        backend = SSDBackend(env, device, write_buffer_mb=buffer_mb)
+        return env, device, backend
+
+    def test_enqueue_within_buffer(self):
+        env, device, backend = self.make(buffer_mb=1.0)  # 16 blocks
+        assert backend.enqueue_write(8)
+        assert backend.pending_blocks == 8
+
+    def test_enqueue_overflow_rejected(self):
+        env, device, backend = self.make(buffer_mb=1.0)
+        assert backend.enqueue_write(16)
+        assert not backend.enqueue_write(1)
+        assert backend.writes_rejected == 1
+
+    def test_writer_drains_buffer(self):
+        env, device, backend = self.make(buffer_mb=1.0)
+        backend.enqueue_write(16)
+        env.run(until=1.0)
+        assert backend.pending_blocks == 0
+        assert device.stats.blocks_written == 16
+
+    def test_buffer_reusable_after_drain(self):
+        env, device, backend = self.make(buffer_mb=1.0)
+        backend.enqueue_write(16)
+        env.run(until=1.0)
+        assert backend.enqueue_write(16)
+
+    def test_read_runs_cost_time(self):
+        env, device, backend = self.make()
+
+        def proc(env):
+            yield from backend.read_runs([(0, 4), (100, 4)])
+
+        env.run(until=env.process(proc(env)))
+        assert env.now > 0
+        assert device.stats.blocks_read == 8
+
+    def test_zero_enqueue_is_trivially_true(self):
+        env, device, backend = self.make()
+        assert backend.enqueue_write(0)

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 1 (victim selection) — the paper's eviction core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EvictionEntity, exceed_value, fallback_victim, get_victim
+
+
+def entity(entitlement, used, weight, tag=None):
+    return EvictionEntity(ref=tag, entitlement=entitlement, used=used,
+                          weightage=weight)
+
+
+class TestExceedValue:
+    def test_basic_formula(self):
+        e = entity(100, 150, 50)
+        # used + evsize - (entitlement + b*w/cw)
+        assert exceed_value(e, 10, 40, 100) == pytest.approx(
+            150 + 10 - (100 + 40 * 50 / 100)
+        )
+
+    def test_zero_cumulative_weight_no_redistribution(self):
+        e = entity(100, 150, 0)
+        assert exceed_value(e, 10, 40, 0) == pytest.approx(150 + 10 - 100)
+
+
+class TestGetVictim:
+    def test_eviction_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_victim([entity(10, 20, 50)], 0)
+
+    def test_single_overused_entity_selected(self):
+        over = entity(100, 200, 50, "over")
+        under = entity(100, 10, 50, "under")
+        victim = get_victim([over, under], 8)
+        assert victim is over
+
+    def test_most_overused_wins(self):
+        a = entity(100, 120, 50, "a")
+        b = entity(100, 300, 50, "b")
+        assert get_victim([a, b], 8) is b
+
+    def test_underused_slack_protects_heavier_weight(self):
+        """Redistribution raises the effective entitlement proportionally to
+        weight: the high-weight over-user is protected relative to the
+        low-weight one."""
+        heavy = entity(100, 200, 90, "heavy")
+        light = entity(100, 200, 10, "light")
+        slack = entity(1000, 10, 50, "slack")  # big underused buffer
+        victim = get_victim([heavy, light, slack], 8)
+        assert victim is light
+
+    def test_no_overused_returns_none(self):
+        entities = [entity(100, 10, 50), entity(100, 20, 50)]
+        assert get_victim(entities, 8) is None
+
+    def test_overused_but_empty_not_selected(self):
+        ghost = entity(0, 0, 50, "ghost")  # 0 < 0 + 8 -> "overused", empty
+        holder = entity(100, 150, 50, "holder")
+        assert get_victim([ghost, holder], 8) is holder
+
+    def test_at_entitlement_counts_as_overused(self):
+        """entitlement < used + eviction_size triggers with used == ent."""
+        e = entity(100, 100, 50, "full")
+        assert get_victim([e], 8) is e
+
+    def test_ties_pick_first(self):
+        a = entity(100, 200, 50, "a")
+        b = entity(100, 200, 50, "b")
+        assert get_victim([a, b], 8) is a
+
+    def test_empty_entity_list(self):
+        assert get_victim([], 8) is None
+
+
+class TestFallbackVictim:
+    def test_largest_holder(self):
+        a = entity(100, 10, 50, "a")
+        b = entity(100, 90, 50, "b")
+        assert fallback_victim([a, b]) is b
+
+    def test_empty_holders(self):
+        assert fallback_victim([entity(10, 0, 50)]) is None
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),   # entitlement
+            st.integers(min_value=0, max_value=10_000),   # used
+            st.floats(min_value=0, max_value=100),        # weight
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=1, max_value=64),
+)
+def test_victim_invariants(raw, eviction_size):
+    """Whoever Algorithm 1 picks must be over-used and hold blocks, and
+    must have the maximal exceed value among such candidates."""
+    entities = [entity(e, u, w, i) for i, (e, u, w) in enumerate(raw)]
+    victim = get_victim(entities, eviction_size)
+    overused = [
+        e for e in entities
+        if e.entitlement < e.used + eviction_size and e.used > 0
+    ]
+    if not overused:
+        assert victim is None
+        return
+    assert victim in overused
+    # Recompute the redistribution context exactly as the algorithm does.
+    cw = sum(e.weightage for e in entities
+             if e.entitlement < e.used + eviction_size)
+    buf = sum(e.entitlement - e.used for e in entities
+              if e.entitlement - e.used > 2 * eviction_size)
+    best = max(exceed_value(e, eviction_size, buf, cw) for e in overused)
+    assert exceed_value(victim, eviction_size, buf, cw) == pytest.approx(best)

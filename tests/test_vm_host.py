@@ -1,0 +1,122 @@
+"""Tests for Host / VirtualMachine / Container wiring."""
+
+import pytest
+
+from repro import SimContext
+from repro.core import CachePolicy, DDConfig, StoreKind
+from repro.hypervisor import HostSpec
+
+
+def build_host(seed=1):
+    ctx = SimContext(seed=seed)
+    host = ctx.create_host(HostSpec())
+    return ctx, host
+
+
+class TestHost:
+    def test_default_cache_is_null(self):
+        ctx, host = build_host()
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("c", 128, CachePolicy.memory(100))
+        assert c.hvcache_mb == 0.0
+
+    def test_duplicate_vm_name_rejected(self):
+        ctx, host = build_host()
+        host.create_vm("vm1", memory_mb=512)
+        with pytest.raises(ValueError):
+            host.create_vm("vm1", memory_mb=512)
+
+    def test_vms_get_disjoint_disk_regions(self):
+        ctx, host = build_host()
+        vm1 = host.create_vm("vm1", memory_mb=512)
+        vm2 = host.create_vm("vm2", memory_mb=512)
+        f1 = vm1.os.fs.create_file(1, 10)
+        f2 = vm2.os.fs.create_file(1, 10)
+        assert abs(f1.disk_start - f2.disk_start) >= (1 << 31)
+
+    def test_destroy_vm_unregisters_cache(self):
+        ctx, host = build_host()
+        cache = host.install_doubledecker(DDConfig(mem_capacity_mb=64))
+        vm = host.create_vm("vm1", memory_mb=512)
+        vm.create_container("c", 128, CachePolicy.memory(100))
+        host.destroy_vm(vm)
+        assert vm.vm_id not in cache.vms
+        assert "vm1" not in host.vms
+
+    def test_set_vm_cache_weight(self):
+        ctx, host = build_host()
+        cache = host.install_doubledecker(DDConfig(mem_capacity_mb=64))
+        vm = host.create_vm("vm1", memory_mb=512, cache_weight=100)
+        host.set_vm_cache_weight(vm, 40)
+        assert cache.vms[vm.vm_id].weight == 40
+
+    def test_block_bytes_from_spec(self):
+        ctx = SimContext()
+        host = ctx.create_host(HostSpec(block_kb=128))
+        assert host.block_bytes == 128 * 1024
+
+
+class TestVM:
+    def test_duplicate_container_rejected(self):
+        ctx, host = build_host()
+        vm = host.create_vm("vm1", memory_mb=512)
+        vm.create_container("c", 128)
+        with pytest.raises(ValueError):
+            vm.create_container("c", 128)
+
+    def test_kernel_reserve_reduces_usable_memory(self):
+        ctx, host = build_host()
+        vm = host.create_vm("vm1", memory_mb=512, kernel_reserve_mb=64)
+        expected_blocks = int(448 * 1024 * 1024) // host.block_bytes
+        assert vm.os.memory_blocks == expected_blocks
+
+    def test_destroy_container_frees_memory_and_pool(self):
+        ctx, host = build_host()
+        cache = host.install_doubledecker(DDConfig(mem_capacity_mb=64))
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("c", 128, CachePolicy.memory(100))
+        f = c.create_file(512)
+        ctx.env.run(until=ctx.env.process(c.read(f)))
+        pool_id = c.pool_id
+        vm.destroy_container(c)
+        assert "c" not in vm.containers
+        assert pool_id not in cache._pools
+        assert vm.os.total_usage_blocks() == 0
+
+    def test_container_accessors(self):
+        ctx, host = build_host()
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("web", 128)
+        assert vm.container("web") is c
+        assert c.name == "web"
+        assert c.anon_mb == 0.0
+        assert c.file_mb == 0.0
+
+
+class TestPolicyControl:
+    def test_set_cache_policy_reaches_hypervisor(self):
+        ctx, host = build_host()
+        cache = host.install_doubledecker(
+            DDConfig(mem_capacity_mb=64, ssd_capacity_mb=1024)
+        )
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("c", 128, CachePolicy.memory(100))
+        c.set_cache_policy(CachePolicy.ssd(100))
+        pool = cache._pools[c.pool_id]
+        assert pool.policy.ssd_weight == 100
+
+    def test_set_memory_limit(self):
+        ctx, host = build_host()
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("c", 128)
+        c.set_memory_limit_mb(64)
+        assert c.cgroup.limit_blocks == (64 << 20) // host.block_bytes
+
+    def test_cache_stats_roundtrip(self):
+        ctx, host = build_host()
+        host.install_doubledecker(DDConfig(mem_capacity_mb=64))
+        vm = host.create_vm("vm1", memory_mb=512)
+        c = vm.create_container("c", 128, CachePolicy.memory(100))
+        stats = c.cache_stats()
+        assert stats is not None
+        assert stats.name == "c"

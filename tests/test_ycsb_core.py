@@ -1,0 +1,52 @@
+"""Tests for the YCSB core machinery (key scattering, mixes)."""
+
+import collections
+
+import pytest
+
+from repro import SimContext
+from repro.core import CachePolicy, DDConfig
+from repro.workloads import RedisWorkload
+from repro.workloads.ycsb.core import _fnv_scatter
+
+
+class TestFNVScatter:
+    def test_deterministic(self):
+        assert _fnv_scatter(12345) == _fnv_scatter(12345)
+
+    def test_spreads_consecutive_ranks(self):
+        """Consecutive Zipf ranks must land far apart (no hot clustering)."""
+        values = [_fnv_scatter(rank) % 10_000 for rank in range(100)]
+        assert len(set(values)) == len(values)  # no collisions in sample
+        gaps = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert sum(gaps) / len(gaps) > 500  # well spread on average
+
+    def test_64bit_range(self):
+        for rank in (0, 1, 2**32, 2**60):
+            assert 0 <= _fnv_scatter(rank) < 2**64
+
+
+class TestNextKey:
+    def _workload(self):
+        ctx = SimContext(seed=71)
+        host = ctx.create_host()
+        host.install_doubledecker(DDConfig(mem_capacity_mb=32))
+        vm = host.create_vm("vm1", memory_mb=512)
+        container = vm.create_container("c", 128, CachePolicy.none())
+        workload = RedisWorkload(nrecords=10_000, threads=1)
+        workload.start(container, ctx.streams)
+        return ctx, workload
+
+    def test_keys_in_range(self):
+        ctx, workload = self._workload()
+        for _ in range(2000):
+            assert 0 <= workload.next_key() < 10_000
+
+    def test_keys_are_skewed_but_scattered(self):
+        ctx, workload = self._workload()
+        counts = collections.Counter(workload.next_key() for _ in range(20_000))
+        top_keys = [key for key, _ in counts.most_common(20)]
+        # Skew: the hottest key appears far above uniform frequency.
+        assert counts[top_keys[0]] > 20_000 / 10_000 * 20
+        # Scatter: the hot keys are not clustered in one region.
+        assert max(top_keys) - min(top_keys) > 2_000
