@@ -1,0 +1,92 @@
+"""End-to-end speed check for the hot-path optimization pass.
+
+Times a fixed-seed ``caching_modes`` run (the heaviest per-event code
+path: guest page cache + cleancache + DoubleDecker data path) and writes
+``BENCH_core.json`` comparing against the recorded pre-optimization
+baseline, so the speedup claim stays reproducible:
+
+* baseline: 29.21 s wall for ``CachingModesExperiment(scale=0.05,
+  seed=42, warmup_s=40, duration_s=50)`` on the commit before the
+  optimization pass (re-measure with ``git stash`` / ``git checkout``
+  if the config changes).
+
+Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_e2e_speed.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_e2e_speed.py -q
+
+Environment overrides: ``REPRO_E2E_BASELINE_S`` (seconds),
+``REPRO_E2E_ROUNDS`` (default 2; the minimum is reported, which is the
+standard noise filter for wall-clock timing), and
+``REPRO_E2E_MIN_SPEEDUP`` (default 0 — informational unless set).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.caching_modes import CachingModesExperiment
+
+#: Fixed configuration the baseline number was measured with.
+SCALE = 0.05
+SEED = 42
+WARMUP_S = 40.0
+DURATION_S = 50.0
+
+#: Pre-optimization wall time for the configuration above (seconds).
+BASELINE_S = float(os.environ.get("REPRO_E2E_BASELINE_S", "29.21"))
+
+#: Required speedup; 0 keeps the check informational on slow machines.
+MIN_SPEEDUP = float(os.environ.get("REPRO_E2E_MIN_SPEEDUP", "0"))
+
+#: Timing rounds; min-of-N filters scheduler noise out of the wall clock.
+ROUNDS = max(1, int(os.environ.get("REPRO_E2E_ROUNDS", "2")))
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def run_e2e():
+    """Time fixed-seed caching_modes runs and record the comparison."""
+    times = []
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = CachingModesExperiment(
+            scale=SCALE, seed=SEED, warmup_s=WARMUP_S, duration_s=DURATION_S
+        ).run()
+        times.append(time.perf_counter() - started)
+    elapsed = min(times)
+    record = {
+        "benchmark": "caching_modes e2e wall time",
+        "config": {
+            "scale": SCALE,
+            "seed": SEED,
+            "warmup_s": WARMUP_S,
+            "duration_s": DURATION_S,
+        },
+        "baseline_s": BASELINE_S,
+        "rounds": ROUNDS,
+        "current_s": round(elapsed, 2),
+        "speedup": round(BASELINE_S / elapsed, 2),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record, result
+
+
+def test_e2e_speedup():
+    record, result = run_e2e()
+    print(f"\n{json.dumps(record, indent=2)}")
+    # The run must still produce the experiment's three mode rows.
+    assert result is not None
+    assert record["current_s"] > 0
+    if MIN_SPEEDUP:
+        assert record["speedup"] >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x vs {BASELINE_S}s baseline, "
+            f"got {record['speedup']}x"
+        )
+
+
+if __name__ == "__main__":
+    record, _ = run_e2e()
+    print(json.dumps(record, indent=2))

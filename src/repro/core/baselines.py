@@ -208,18 +208,26 @@ class GlobalCache(_PoolTableCache):
 
     def get_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         pool = self._require_pool(vm_id, pool_id)
+        stats = pool.stats
+        stats.gets += len(keys)
         found: Set[BlockKey] = set()
-        for key in keys:
-            pool.stats.gets += 1
-            inode, block = key
-            kind = pool.lookup(inode, block)
-            if kind is None:
-                continue
-            pool.stats.get_hits += 1
-            found.add(key)
-            if self.exclusive:
-                self._forget(pool, inode, block)
-                self._fifo.pop((pool_id, inode, block), None)
+        add_found = found.add
+        if self.exclusive:
+            # Second-chance semantics: a hit removes the block.  Folding
+            # the hit test into the removal costs one tree descent.
+            remove = pool.remove_key
+            fifo_pop = self._fifo.pop
+            for key in keys:
+                if remove(key) is not None:
+                    add_found(key)
+                    fifo_pop((pool_id, key[0], key[1]), None)
+            self.used_blocks -= len(found)
+        else:
+            lookup = pool.lookup
+            for key in keys:
+                if lookup(key[0], key[1]) is not None:
+                    add_found(key)
+        stats.get_hits += len(found)
         if found:
             yield self.env.timeout(self.mem_backend.read_cost(len(found)))
         return found
@@ -227,33 +235,41 @@ class GlobalCache(_PoolTableCache):
     def put_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         pool = self._require_pool(vm_id, pool_id)
         vm = self.vms[vm_id]
+        stats = pool.stats
+        stats.puts += len(keys)
+        capacity = self.capacity_blocks
+        per_vm_cap = self.per_vm_cap_blocks
+        lookup = pool.lookup
+        insert = pool.insert
+        fifo = self._fifo
+        counters = self.counters
+        MEMORY = StoreKind.MEMORY
         stored = 0
         for key in keys:
-            pool.stats.puts += 1
-            if self.capacity_blocks <= 0:
-                self.counters.rejected_puts += 1
+            if capacity <= 0:
+                counters.rejected_puts += 1
                 continue
-            while self.used_blocks + 1 > self.capacity_blocks:
+            while self.used_blocks + 1 > capacity:
                 if not self._evict_one():
                     break
-            if self.used_blocks + 1 > self.capacity_blocks:
-                self.counters.rejected_puts += 1
+            if self.used_blocks + 1 > capacity:
+                counters.rejected_puts += 1
                 continue
             if (
-                self.per_vm_cap_blocks is not None
-                and vm.used(StoreKind.MEMORY) + 1 > self.per_vm_cap_blocks
+                per_vm_cap is not None
+                and vm.used(MEMORY) + 1 > per_vm_cap
             ):
                 # Per-VM limit: evict this VM's own oldest block.
                 if not self._evict_one(vm_filter=vm_id):
-                    self.counters.rejected_puts += 1
+                    counters.rejected_puts += 1
                     continue
             inode, block = key
-            if pool.lookup(inode, block) is None:
-                pool.insert(inode, block, StoreKind.MEMORY)
+            if lookup(inode, block) is None:
+                insert(inode, block, MEMORY)
                 self.used_blocks += 1
-                self._fifo[(pool_id, inode, block)] = None
-                pool.stats.puts_stored += 1
+                fifo[(pool_id, inode, block)] = None
                 stored += 1
+        stats.puts_stored += stored
         if stored:
             yield self.env.timeout(self.mem_backend.write_cost(stored))
         return stored
@@ -320,15 +336,17 @@ class StaticPartitionCache(_PoolTableCache):
 
     def get_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         pool = self._require_pool(vm_id, pool_id)
+        stats = pool.stats
+        stats.gets += len(keys)
         found: Set[BlockKey] = set()
+        add_found = found.add
+        # Partitions are exclusive: a hit always removes (one descent).
+        remove = pool.remove_key
         for key in keys:
-            pool.stats.gets += 1
-            inode, block = key
-            if pool.lookup(inode, block) is None:
-                continue
-            pool.stats.get_hits += 1
-            found.add(key)
-            self._forget(pool, inode, block)
+            if remove(key) is not None:
+                add_found(key)
+        self.used_blocks -= len(found)
+        stats.get_hits += len(found)
         if found:
             yield self.env.timeout(self.mem_backend.read_cost(len(found)))
         return found
@@ -336,28 +354,35 @@ class StaticPartitionCache(_PoolTableCache):
     def put_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         pool = self._require_pool(vm_id, pool_id)
         cap = self._caps_blocks.get(pool_id, 0)
+        stats = pool.stats
+        stats.puts += len(keys)
+        counters = self.counters
+        lookup = pool.lookup
+        insert = pool.insert
+        pop_oldest = pool.pop_oldest
+        pool_used = pool.used
+        MEMORY = StoreKind.MEMORY
         stored = 0
         for key in keys:
-            pool.stats.puts += 1
             if cap <= 0:
-                self.counters.rejected_puts += 1
+                counters.rejected_puts += 1
                 continue
-            while pool.used[StoreKind.MEMORY] + 1 > cap:
-                victim = pool.pop_oldest(StoreKind.MEMORY)
+            while pool_used[MEMORY] + 1 > cap:
+                victim = pop_oldest(MEMORY)
                 if victim is None:
                     break
                 self.used_blocks -= 1
-                pool.stats.evictions += 1
-                self.counters.evictions += 1
-            if pool.used[StoreKind.MEMORY] + 1 > cap:
-                self.counters.rejected_puts += 1
+                stats.evictions += 1
+                counters.evictions += 1
+            if pool_used[MEMORY] + 1 > cap:
+                counters.rejected_puts += 1
                 continue
             inode, block = key
-            if pool.lookup(inode, block) is None:
-                pool.insert(inode, block, StoreKind.MEMORY)
+            if lookup(inode, block) is None:
+                insert(inode, block, MEMORY)
                 self.used_blocks += 1
-                pool.stats.puts_stored += 1
                 stored += 1
+        stats.puts_stored += stored
         if stored:
             yield self.env.timeout(self.mem_backend.write_cost(stored))
         return stored

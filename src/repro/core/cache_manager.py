@@ -148,11 +148,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
     def destroy_pool(self, vm_id: int, pool_id: int) -> None:
         pool = self._require_pool(vm_id, pool_id)
-        for inode, block in list(pool.fifos[StoreKind.MEMORY]):
-            self._mem_release(vm_id, inode, block)
-        counts = pool.drain()
-        for kind, count in counts.items():
-            self.used[kind] -= count
+        self._drain_pool(pool)
         pool.active = False
         del self.vms[vm_id].pools[pool_id]
         del self._pools[pool_id]
@@ -162,19 +158,21 @@ class DoubleDeckerCache(HypervisorCacheBase):
         pool = self._require_pool(vm_id, pool_id)
         if policy.ssd_weight > 0 and self.ssd_backend is None:
             raise ValueError("policy requests SSD but the cache has no SSD store")
-        old_policy = pool.policy
         pool.policy = policy
         self._recompute()
         # A container switched away from a store keeps already-cached
         # blocks there (they age out FIFO under pressure) unless it no
         # longer uses the cache at all, in which case they are dropped.
         if not policy.uses_cache and len(pool):
-            for inode, block in list(pool.fifos[StoreKind.MEMORY]):
-                self._mem_release(vm_id, inode, block)
-            counts = pool.drain()
-            for kind, count in counts.items():
-                self.used[kind] -= count
-        del old_policy
+            self._drain_pool(pool)
+
+    def _drain_pool(self, pool: Pool) -> None:
+        """Release every cached block of ``pool`` from manager accounting."""
+        for inode, block in list(pool.fifos[StoreKind.MEMORY]):
+            self._mem_release(pool.vm_id, inode, block)
+        counts = pool.drain()
+        for kind, count in counts.items():
+            self.used[kind] -= count
 
     def pool_stats(self, vm_id: int, pool_id: int) -> PoolStats:
         return self._require_pool(vm_id, pool_id).snapshot_stats()
@@ -189,21 +187,30 @@ class DoubleDeckerCache(HypervisorCacheBase):
         found: Set[BlockKey] = set()
         mem_hits = 0
         ssd_keys: List[BlockKey] = []
+        # Hot loop: every guest page-cache miss funnels through here.  The
+        # per-key branches and attribute chains are hoisted out, and the
+        # lookup+remove pair is folded into one tree descent (``remove``
+        # reports the store the block was in).
+        stats = pool.stats
+        stats.gets += len(keys)
+        remove = pool.remove_key
+        release = self._mem_release
+        used = self.used
+        add_found = found.add
+        append_ssd = ssd_keys.append
+        MEMORY = StoreKind.MEMORY
         for key in keys:
-            pool.stats.gets += 1
-            kind = pool.lookup(*key)
+            kind = remove(key)
             if kind is None:
                 continue
-            pool.remove(*key)
-            self.used[kind] -= 1
-            if kind is StoreKind.MEMORY:
-                self._mem_release(vm_id, key[0], key[1])
-            pool.stats.get_hits += 1
-            found.add(key)
-            if kind is StoreKind.MEMORY:
+            used[kind] -= 1
+            if kind is MEMORY:
+                release(vm_id, key[0], key[1])
                 mem_hits += 1
             else:
-                ssd_keys.append(key)
+                append_ssd(key)
+            add_found(key)
+        stats.get_hits += len(found)
         if mem_hits:
             cost = self.mem_backend.read_cost(mem_hits)
             if self.compression is not None:
@@ -217,41 +224,64 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def put_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         """Best-effort store of clean evicted blocks; returns #stored."""
         pool = self._require_pool(vm_id, pool_id)
+        stats = pool.stats
+        stats.puts += len(keys)
+        # The policy cannot change mid-batch (nothing yields inside the
+        # loop), so the uses-cache and store-choice branches are decided
+        # once; only the hybrid mode re-checks per key (its spill point
+        # depends on occupancy, which the loop itself advances).
+        policy = pool.policy
+        if not policy.uses_cache:
+            self.store_counters[StoreKind.MEMORY].rejected_puts += len(keys)
+            return 0
+        MEMORY = StoreKind.MEMORY
+        SSD = StoreKind.SSD
+        if policy.is_hybrid:
+            fixed_kind = None
+        elif policy.mem_weight > 0:
+            fixed_kind = MEMORY
+        else:
+            fixed_kind = SSD
         stored = 0
         mem_stores = 0
+        used = self.used
+        pool_used = pool.used
+        entitlement = pool.entitlement
+        remove = pool.remove_key
+        insert = pool.insert
+        release = self._mem_release
+        charge = self._mem_charge
+        make_room = self._make_room
+        counters = self.store_counters
+        ssd_backend = self.ssd_backend
         for key in keys:
-            pool.stats.puts += 1
-            if not pool.policy.uses_cache:
-                self.store_counters[StoreKind.MEMORY].rejected_puts += 1
-                continue
-            existing = pool.lookup(*key)
-            if existing is not None:
-                # Duplicate put: drop the stale copy first so accounting
-                # (manager used / memory units) stays exact.
-                pool.remove(*key)
-                self.used[existing] -= 1
-                if existing is StoreKind.MEMORY:
-                    self._mem_release(vm_id, key[0], key[1])
-            kind = self._choose_store(pool)
-            if kind is None:
-                continue
-            if not self._make_room(kind, 1):
-                self.store_counters[kind].rejected_puts += 1
-                continue
-            if kind is StoreKind.SSD:
-                assert self.ssd_backend is not None
-                if not self.ssd_backend.enqueue_write(1):
-                    self.store_counters[kind].rejected_puts += 1
-                    continue
             inode, block = key
-            pool.insert(inode, block, kind)
-            self.used[kind] += 1
-            if kind is StoreKind.MEMORY:
-                self._mem_charge(vm_id, inode, block)
-            pool.stats.puts_stored += 1
-            stored += 1
-            if kind is StoreKind.MEMORY:
+            # Duplicate put: drop the stale copy first so accounting
+            # (manager used / memory units) stays exact.  ``remove``
+            # folds the former lookup+remove pair into one descent.
+            existing = remove(key)
+            if existing is not None:
+                used[existing] -= 1
+                if existing is MEMORY:
+                    release(vm_id, inode, block)
+            kind = fixed_kind
+            if kind is None:  # hybrid spills to SSD past the memory share
+                kind = MEMORY if pool_used[MEMORY] < entitlement[MEMORY] else SSD
+            if not make_room(kind, 1):
+                counters[kind].rejected_puts += 1
+                continue
+            if kind is SSD:
+                assert ssd_backend is not None
+                if not ssd_backend.enqueue_write(1):
+                    counters[kind].rejected_puts += 1
+                    continue
+            insert(inode, block, kind)
+            used[kind] += 1
+            if kind is MEMORY:
+                charge(vm_id, inode, block)
                 mem_stores += 1
+            stored += 1
+        stats.puts_stored += stored
         if mem_stores:
             cost = self.mem_backend.write_cost(mem_stores)
             if self.compression is not None:
@@ -262,14 +292,18 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def flush_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]) -> int:
         pool = self._require_pool(vm_id, pool_id)
         dropped = 0
-        for inode, block in keys:
-            kind = pool.remove(inode, block)
+        remove = pool.remove_key
+        release = self._mem_release
+        used = self.used
+        MEMORY = StoreKind.MEMORY
+        for key in keys:
+            kind = remove(key)
             if kind is not None:
-                self.used[kind] -= 1
-                if kind is StoreKind.MEMORY:
-                    self._mem_release(vm_id, inode, block)
+                used[kind] -= 1
+                if kind is MEMORY:
+                    release(vm_id, key[0], key[1])
                 dropped += 1
-            pool.stats.flushes += 1
+        pool.stats.flushes += len(keys)
         return dropped
 
     def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
@@ -352,20 +386,35 @@ class DoubleDeckerCache(HypervisorCacheBase):
         return self.compression.charged_units(fingerprint)
 
     def _mem_charge(self, vm_id: int, inode: int, block: int) -> None:
-        """Account a block entering the memory store (units/dedup)."""
-        fingerprint = self._fingerprint(vm_id, inode, block)
-        if self.dedup is not None:
-            if not self.dedup.insert(vm_id, inode, block):
-                return  # duplicate content: no new capacity consumed
-        self._mem_units_used += self._units_for(fingerprint)
+        """Account a block entering the memory store (units/dedup).
+
+        The content fingerprint is only needed to size compressed blocks,
+        and only for blocks that actually consume capacity — so hash after
+        the dedup early-return, and not at all without compression.
+        """
+        dedup = self.dedup
+        if dedup is not None and not dedup.insert(vm_id, inode, block):
+            return  # duplicate content: no new capacity consumed
+        compression = self.compression
+        if compression is None:
+            self._mem_units_used += 1
+        else:
+            self._mem_units_used += compression.charged_units(
+                self._fingerprint(vm_id, inode, block)
+            )
 
     def _mem_release(self, vm_id: int, inode: int, block: int) -> None:
         """Account a block leaving the memory store."""
-        fingerprint = self._fingerprint(vm_id, inode, block)
-        if self.dedup is not None:
-            if not self.dedup.remove(vm_id, inode, block):
-                return  # other references keep the content resident
-        self._mem_units_used -= self._units_for(fingerprint)
+        dedup = self.dedup
+        if dedup is not None and not dedup.remove(vm_id, inode, block):
+            return  # other references keep the content resident
+        compression = self.compression
+        if compression is None:
+            self._mem_units_used -= 1
+        else:
+            self._mem_units_used -= compression.charged_units(
+                self._fingerprint(vm_id, inode, block)
+            )
 
     @property
     def mem_physical_mb(self) -> float:

@@ -28,6 +28,12 @@ class StoreKind(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # The data path hashes StoreKind millions of times as a dict key
+    # (`used[kind]`, `fifos[kind]`, ...).  Enum.__hash__ is a Python-level
+    # call; members are singletons compared by identity, so the C-level
+    # identity hash is equivalent and much cheaper.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class CachePolicy:

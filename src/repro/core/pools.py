@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .config import CachePolicy, StoreKind
+from .radix import RadixTree
 from .stats import PoolStats
 
 __all__ = ["Pool", "VMEntry", "BlockKey"]
@@ -29,8 +30,6 @@ class Pool:
                  "used", "entitlement", "stats", "active")
 
     def __init__(self, pool_id: int, vm_id: int, name: str, policy: CachePolicy) -> None:
-        from .radix import RadixTree  # local import to avoid cycle at module load
-
         self.pool_id = pool_id
         self.vm_id = vm_id
         self.name = name
@@ -66,32 +65,40 @@ class Pool:
 
     def insert(self, inode: int, block: int, kind: StoreKind) -> None:
         """Add a block to store ``kind`` (caller enforces capacity)."""
-        from .radix import RadixTree
-
         tree = self.files.get(inode)
         if tree is None:
             tree = RadixTree()
             self.files[inode] = tree
-        previous = tree.get(block)
+        # One descent: insert reports what it replaced (None if fresh).
+        previous = tree.insert(block, kind)
+        key = (inode, block)
         if previous is not None:
             # Replacing an existing copy: drop the old placement first.
-            del self.fifos[previous][(inode, block)]
+            del self.fifos[previous][key]
             self.used[previous] -= 1
-        tree.insert(block, kind)
-        self.fifos[kind][(inode, block)] = None
+        self.fifos[kind][key] = None
         self.used[kind] += 1
 
     def remove(self, inode: int, block: int) -> Optional[StoreKind]:
         """Remove a block; returns the store it was in, or ``None``."""
+        return self.remove_key((inode, block))
+
+    def remove_key(self, key: BlockKey) -> Optional[StoreKind]:
+        """:meth:`remove` taking the ``(inode, block)`` tuple directly.
+
+        The data path iterates over key tuples; accepting them as-is
+        avoids a rebuild of the same tuple for the FIFO deletion.
+        """
+        inode = key[0]
         tree = self.files.get(inode)
         if tree is None:
             return None
-        kind = tree.remove(block)
+        kind = tree.remove(key[1])
         if kind is None:
             return None
-        if not tree:
+        if not tree._size:
             del self.files[inode]
-        del self.fifos[kind][(inode, block)]
+        del self.fifos[kind][key]
         self.used[kind] -= 1
         return kind
 

@@ -47,12 +47,11 @@ class RadixTree:
 
     @staticmethod
     def _required_height(key: int) -> int:
-        height = 1
-        key >>= _BITS
-        while key:
-            height += 1
-            key >>= _BITS
-        return height
+        # Equivalent to dividing the key's bit length into 6-bit digits;
+        # bit_length() is a single C call vs. a Python shift loop.
+        if key < _FANOUT:
+            return 1
+        return (key.bit_length() + _BITS - 1) // _BITS
 
     def _grow_to(self, height: int) -> None:
         if self._root is None:
@@ -68,12 +67,25 @@ class RadixTree:
 
     # -- mapping operations ---------------------------------------------------
 
-    def insert(self, key: int, value: Any) -> None:
-        """Set ``key`` to ``value`` (replacing any existing value)."""
+    def insert(self, key: int, value: Any) -> Any:
+        """Set ``key`` to ``value``; returns the replaced value or ``None``.
+
+        Returning the previous value lets callers fold the
+        lookup-then-insert pair into a single tree descent.
+        """
         if key < 0:
             raise ValueError(f"keys must be non-negative, got {key}")
         if value is None:
             raise ValueError("None values are reserved for empty slots")
+        node = self._root
+        if node is not None and self._height == 1 and key < _FANOUT:
+            # Fast path: single-level tree (small files), no descent needed.
+            previous = node.slots[key]
+            if previous is None:
+                node.count += 1
+                self._size += 1
+            node.slots[key] = value
+            return previous
         self._grow_to(self._required_height(key))
         node = self._root
         for level in range(self._height - 1, 0, -1):
@@ -85,19 +97,28 @@ class RadixTree:
                 node.count += 1
             node = child
         idx = key & _MASK
-        if node.slots[idx] is None:
+        previous = node.slots[idx]
+        if previous is None:
             node.count += 1
             self._size += 1
         node.slots[idx] = value
+        return previous
 
     def get(self, key: int, default: Any = None) -> Any:
         """Value at ``key``, or ``default`` if absent."""
-        if key < 0 or self._root is None:
-            return default
-        if self._required_height(key) > self._height:
-            return default
         node = self._root
-        for level in range(self._height - 1, 0, -1):
+        if node is None or key < 0:
+            return default
+        height = self._height
+        if height == 1:
+            # Fast path: single-level tree (small files), no descent.
+            if key >= _FANOUT:
+                return default
+            value = node.slots[key]
+            return default if value is None else value
+        if self._required_height(key) > height:
+            return default
+        for level in range(height - 1, 0, -1):
             node = node.slots[(key >> (level * _BITS)) & _MASK]
             if node is None:
                 return default
@@ -112,8 +133,24 @@ class RadixTree:
 
         Empty interior nodes are pruned so long-lived trees don't leak.
         """
-        if key < 0 or self._root is None:
+        node = self._root
+        if node is None or key < 0:
             return None
+        if self._height == 1:
+            # Fast path: single-level tree (small files) — no descent,
+            # no path bookkeeping.
+            if key >= _FANOUT:
+                return None
+            value = node.slots[key]
+            if value is None:
+                return None
+            node.slots[key] = None
+            node.count -= 1
+            self._size -= 1
+            if self._size == 0:
+                self._root = None
+                self._height = 0
+            return value
         if self._required_height(key) > self._height:
             return None
         path: List[Tuple[_Node, int]] = []

@@ -5,9 +5,20 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments motivation --scale 0.25
     python -m repro.experiments all --scale 0.25 --out results/
+    python -m repro.experiments all --scale 0.25 --jobs 4
+    python -m repro.experiments caching_modes --profile hot.pstats
 
 Each experiment prints the same rows/series its paper table or figure
 reports (see DESIGN.md's per-experiment index).
+
+``--jobs N`` fans independent experiments out over N worker processes.
+Experiments share nothing (each builds its own simulation Environment
+from ``scale``/``seed``), so results are byte-identical to a serial run;
+only the wall clock changes.  Output is still printed in the canonical
+experiment order regardless of which worker finishes first.
+
+``--profile [FILE]`` wraps the (serial) run in :mod:`cProfile` and dumps
+a ``.pstats`` file for ``pstats``/``snakeviz``-style analysis.
 """
 
 from __future__ import annotations
@@ -16,8 +27,41 @@ import argparse
 import sys
 import time
 from pathlib import Path
+from typing import Optional, Tuple
 
 from . import ALL_EXPERIMENTS
+
+
+def _run_one(task: Tuple[str, float, int, bool, bool]) -> Tuple[str, str, float, Optional[str]]:
+    """Run one experiment; module-level so multiprocessing can pickle it.
+
+    Returns ``(name, summary, elapsed, json_text)`` — plain strings only,
+    so the result pickles cheaply and the parent never needs the (large,
+    unpicklable) simulation objects.
+    """
+    name, scale, seed, plots, want_json = task
+    cls = ALL_EXPERIMENTS[name]
+    started = time.time()
+    result = cls(scale=scale, seed=seed).run()
+    elapsed = time.time() - started
+    summary = result.summary(plots=plots)
+    json_text = None
+    if want_json:
+        from ..analysis import result_to_json
+
+        json_text = result_to_json(result)
+    return name, summary, elapsed, json_text
+
+
+def _emit(args, name: str, summary: str, elapsed: float, json_text: Optional[str]) -> None:
+    cls = ALL_EXPERIMENTS[name]
+    print(f"\n### running {name} ({cls.exp_id}) at scale {args.scale} ###")
+    print(summary)
+    print(f"(wall time {elapsed:.1f}s)")
+    if args.out is not None:
+        (args.out / f"{name}.txt").write_text(summary + "\n")
+        if json_text is not None:
+            (args.out / f"{name}.json").write_text(json_text)
 
 
 def main(argv=None) -> int:
@@ -26,7 +70,7 @@ def main(argv=None) -> int:
         description="Regenerate the DoubleDecker paper's tables and figures.",
     )
     parser.add_argument("experiment", nargs="?",
-                        help="experiment name, or 'all'")
+                        help="experiment name, comma-separated names, or 'all'")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -38,6 +82,14 @@ def main(argv=None) -> int:
                         help="directory to also write summaries into")
     parser.add_argument("--json", action="store_true",
                         help="with --out, also write machine-readable JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes "
+                             "(results identical to serial; default 1)")
+    parser.add_argument("--profile", nargs="?", const="profile.pstats",
+                        default=None, metavar="FILE",
+                        help="profile the run with cProfile and dump "
+                             "pstats to FILE (default profile.pstats); "
+                             "forces --jobs 1")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -48,31 +100,59 @@ def main(argv=None) -> int:
 
     if args.experiment == "all":
         names = list(ALL_EXPERIMENTS)
-    elif args.experiment in ALL_EXPERIMENTS:
-        names = [args.experiment]
     else:
-        print(f"unknown experiment {args.experiment!r}; use --list",
-              file=sys.stderr)
+        names = [part.strip() for part in args.experiment.split(",") if part.strip()]
+        if not names:
+            print(f"empty experiment list {args.experiment!r}; use --list",
+                  file=sys.stderr)
+            return 2
+        unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment {', '.join(map(repr, unknown))}; use --list",
+                  file=sys.stderr)
+            return 2
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    for name in names:
-        cls = ALL_EXPERIMENTS[name]
-        print(f"\n### running {name} ({cls.exp_id}) at scale {args.scale} ###")
-        started = time.time()
-        result = cls(scale=args.scale, seed=args.seed).run()
-        elapsed = time.time() - started
-        summary = result.summary(plots=not args.no_plots)
-        print(summary)
-        print(f"(wall time {elapsed:.1f}s)")
-        if args.out is not None:
-            (args.out / f"{name}.txt").write_text(summary + "\n")
-            if args.json:
-                from ..analysis import result_to_json
+    tasks = [(name, args.scale, args.seed, not args.no_plots, args.json)
+             for name in names]
 
-                (args.out / f"{name}.json").write_text(result_to_json(result))
+    if args.profile is not None:
+        # Profiling a process pool would only profile the idle parent;
+        # run serially under cProfile instead.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            for task in tasks:
+                _emit(args, *_run_one(task))
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"\nprofile written to {args.profile}; top hotspots:")
+        stats.print_stats(10)
+        return 0
+
+    if args.jobs > 1 and len(tasks) > 1:
+        import multiprocessing as mp
+
+        # imap preserves submission order, so output stays deterministic
+        # no matter which worker finishes first.
+        with mp.Pool(processes=min(args.jobs, len(tasks))) as pool:
+            for name, summary, elapsed, json_text in pool.imap(_run_one, tasks):
+                _emit(args, name, summary, elapsed, json_text)
+    else:
+        for task in tasks:
+            _emit(args, *_run_one(task))
     return 0
 
 

@@ -123,12 +123,24 @@ class OccupancySampler:
         self._proc = None
 
     def watch_pool(self, cache, label: str, pool_id: int, kind=None) -> None:
-        """Track one container's pool occupancy in MB."""
-        self._gauges.append((label, lambda: cache.pool_used_mb(pool_id, kind)))
+        """Track one container's pool occupancy in MB.
+
+        ``cache``, ``pool_id``, and ``kind`` are bound eagerly (default
+        arguments, not free closure variables) so gauges registered in a
+        loop — or against two different caches in one experiment — each
+        sample the cache they were registered with.
+        """
+        def gauge(cache=cache, pool_id=pool_id, kind=kind) -> float:
+            return cache.pool_used_mb(pool_id, kind)
+
+        self._gauges.append((label, gauge))
 
     def watch_vm(self, cache, label: str, vm_id: int, kind=None) -> None:
-        """Track one VM's total occupancy in MB."""
-        self._gauges.append((label, lambda: cache.vm_used_mb(vm_id, kind)))
+        """Track one VM's total occupancy in MB (same eager binding)."""
+        def gauge(cache=cache, vm_id=vm_id, kind=kind) -> float:
+            return cache.vm_used_mb(vm_id, kind)
+
+        self._gauges.append((label, gauge))
 
     def start(self) -> None:
         if self._proc is None:

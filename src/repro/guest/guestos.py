@@ -165,17 +165,19 @@ class GuestOS:
         result = IOResult()
         t0 = self.env.now
         keys = file.keys(start, nblocks)
-        result.blocks = len(keys)
-        misses: List[BlockKey] = []
-        for key in keys:
-            self.stats.pc_lookups += 1
-            if self.pagecache.lookup(key) is not None:
-                self.stats.pc_hits += 1
-                result.pc_hits += 1
-            else:
-                misses.append(key)
-        if result.pc_hits:
-            yield self.env.timeout(self._copy_cost(result.pc_hits))
+        nkeys = len(keys)
+        result.blocks = nkeys
+        # Hot loop (every read of every workload thread): bind the lookup
+        # and derive the counters from the miss list instead of bumping
+        # stats attributes per block.
+        lookup = self.pagecache.lookup
+        misses: List[BlockKey] = [key for key in keys if lookup(key) is None]
+        hits = nkeys - len(misses)
+        self.stats.pc_lookups += nkeys
+        self.stats.pc_hits += hits
+        result.pc_hits = hits
+        if hits:
+            yield self.env.timeout(self._copy_cost(hits))
         misses.extend(self._readahead_keys(file, start, len(keys)))
         if misses:
             yield from self._fill_misses(cgroup, file, misses, result)
@@ -347,18 +349,24 @@ class GuestOS:
         the (now-coldest) pages of earlier ones, giving the correct
         streaming behaviour for files larger than the container.
         """
-        pending = [key for key in keys if key not in self.pagecache]
+        pagecache = self.pagecache
+        resident = pagecache.entries
+        pending = [key for key in keys if key not in resident]
+        insert = pagecache.insert
+        cgroup_id = cgroup.cgroup_id
         for base in range(0, len(pending), RECLAIM_BATCH):
             chunk = pending[base:base + RECLAIM_BATCH]
             yield from self._reclaim_for(cgroup, len(chunk))
             now = self.env.now
+            admitted = 0
             for key in chunk:
-                if key in self.pagecache:  # racing thread admitted it already
+                if key in resident:  # racing thread admitted it already
                     continue
-                entry = self.pagecache.insert(key, cgroup.cgroup_id)
-                cgroup.file_blocks += 1
+                entry = insert(key, cgroup_id)
+                admitted += 1
                 if dirty:
-                    self.pagecache.mark_dirty(entry, now)
+                    pagecache.mark_dirty(entry, now)
+            cgroup.file_blocks += admitted
 
     def _reclaim_for(self, cgroup: Cgroup, need: int):
         """Make room for ``need`` new blocks: cgroup limit, then VM limit."""

@@ -57,9 +57,11 @@ class PageCache:
         entry = self.entries.get(key)
         if entry is None:
             return None
-        entry.seq = self.seq.next()
-        lru = self.lrus[entry.cgroup_id]
-        lru.move_to_end(key)
+        # Inlined self.seq.next(): this is the hottest guest-side call.
+        seq = self.seq
+        seq.value += 1
+        entry.seq = seq.value
+        self.lrus[entry.cgroup_id].move_to_end(key)
         return entry
 
     def peek(self, key: BlockKey) -> Optional[PageEntry]:
@@ -70,7 +72,9 @@ class PageCache:
         """Add a clean page charged to ``cgroup_id`` (must not be present)."""
         if key in self.entries:
             raise ValueError(f"page {key} already cached")
-        entry = PageEntry(key[0], key[1], cgroup_id, self.seq.next())
+        seq = self.seq
+        seq.value += 1
+        entry = PageEntry(key[0], key[1], cgroup_id, seq.value)
         self.entries[key] = entry
         lru = self.lrus.get(cgroup_id)
         if lru is None:

@@ -22,10 +22,15 @@ condition events.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .core import Environment
+
+#: NORMAL scheduling priority (mirrors :data:`repro.simkernel.core.NORMAL`;
+#: duplicated here because ``core`` imports this module).
+_NORMAL = 1
 
 __all__ = [
     "PENDING",
@@ -115,7 +120,10 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): triggering is the kernel's hottest
+        # entry point, so skip the method call and delay arithmetic.
+        env = self.env
+        _heappush(env._queue, (env._now, _NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -130,7 +138,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        _heappush(env._queue, (env._now, _NORMAL, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -157,13 +166,18 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        # The schedule/fire cycle of timeouts dominates most simulations,
+        # so initialize the Event fields and enqueue directly instead of
+        # chaining through Event.__init__ and env.schedule.
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        _heappush(env._queue, (env._now + delay, _NORMAL, next(env._eid), self))
 
 
 class ConditionEvent(Event):
