@@ -15,9 +15,14 @@ Run either way::
     PYTHONPATH=src python benchmarks/bench_e2e_speed.py
     PYTHONPATH=src python -m pytest benchmarks/bench_e2e_speed.py -q
 
+The record also includes the cost of shadow-accounting audits
+(``--audit``-style runs with a 10-simulated-second interval), so the
+overhead of self-checking stays measured rather than guessed.
+
 Environment overrides: ``REPRO_E2E_BASELINE_S`` (seconds),
 ``REPRO_E2E_ROUNDS`` (default 2; the minimum is reported, which is the
-standard noise filter for wall-clock timing), and
+standard noise filter for wall-clock timing), ``REPRO_E2E_AUDIT_ROUNDS``
+(default 1; 0 skips the audit-on timing), and
 ``REPRO_E2E_MIN_SPEEDUP`` (default 0 — informational unless set).
 """
 
@@ -26,6 +31,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.core import set_audit_interval
 from repro.experiments.caching_modes import CachingModesExperiment
 
 #: Fixed configuration the baseline number was measured with.
@@ -43,7 +49,21 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_E2E_MIN_SPEEDUP", "0"))
 #: Timing rounds; min-of-N filters scheduler noise out of the wall clock.
 ROUNDS = max(1, int(os.environ.get("REPRO_E2E_ROUNDS", "2")))
 
+#: Audit-enabled timing rounds (0 skips the audit-on measurement).
+AUDIT_ROUNDS = max(0, int(os.environ.get("REPRO_E2E_AUDIT_ROUNDS", "1")))
+
+#: Shadow-accounting self-check cadence for the audit-on rounds.
+AUDIT_INTERVAL_S = 10.0
+
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def _time_run():
+    started = time.perf_counter()
+    result = CachingModesExperiment(
+        scale=SCALE, seed=SEED, warmup_s=WARMUP_S, duration_s=DURATION_S
+    ).run()
+    return time.perf_counter() - started, result
 
 
 def run_e2e():
@@ -51,11 +71,8 @@ def run_e2e():
     times = []
     result = None
     for _ in range(ROUNDS):
-        started = time.perf_counter()
-        result = CachingModesExperiment(
-            scale=SCALE, seed=SEED, warmup_s=WARMUP_S, duration_s=DURATION_S
-        ).run()
-        times.append(time.perf_counter() - started)
+        elapsed_round, result = _time_run()
+        times.append(elapsed_round)
     elapsed = min(times)
     record = {
         "benchmark": "caching_modes e2e wall time",
@@ -70,6 +87,19 @@ def run_e2e():
         "current_s": round(elapsed, 2),
         "speedup": round(BASELINE_S / elapsed, 2),
     }
+    if AUDIT_ROUNDS:
+        audit_times = []
+        set_audit_interval(AUDIT_INTERVAL_S)
+        try:
+            for _ in range(AUDIT_ROUNDS):
+                audit_elapsed, _ = _time_run()
+                audit_times.append(audit_elapsed)
+        finally:
+            set_audit_interval(0.0)
+        record["audit_interval_s"] = AUDIT_INTERVAL_S
+        record["audit_rounds"] = AUDIT_ROUNDS
+        record["audit_on_s"] = round(min(audit_times), 2)
+        record["audit_overhead"] = round(min(audit_times) / elapsed, 2)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     return record, result
 

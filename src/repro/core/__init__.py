@@ -8,8 +8,21 @@ Public surface:
 * :class:`CachePolicy` / :class:`StoreKind` / :class:`DDConfig` — policy
   configuration (the paper's ``<T, W>`` tuples and host-admin settings).
 * :func:`get_victim` — Algorithm 1, usable standalone.
+* :func:`check_cache` / :func:`assert_consistent` — shadow-accounting
+  invariant auditor (see :mod:`repro.core.audit`).
 """
 
+from .audit import (
+    InvariantViolation,
+    ReferenceCache,
+    ReferenceGlobalCache,
+    ReferenceStaticCache,
+    assert_consistent,
+    check_cache,
+    global_audit_interval,
+    set_audit_interval,
+    start_periodic_audit,
+)
 from .baselines import GlobalCache, StaticPartitionCache
 from .cache_manager import DoubleDeckerCache
 from .config import CachePolicy, DDConfig, StoreKind
@@ -23,6 +36,15 @@ from .victim import EvictionEntity, exceed_value, fallback_victim, get_victim
 __all__ = [
     "BlockKey",
     "CachePolicy",
+    "InvariantViolation",
+    "ReferenceCache",
+    "ReferenceGlobalCache",
+    "ReferenceStaticCache",
+    "assert_consistent",
+    "check_cache",
+    "global_audit_interval",
+    "set_audit_interval",
+    "start_periodic_audit",
     "CompressionModel",
     "DedupIndex",
     "content_fingerprint",

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..simkernel import Environment
 from ..storage import MB, MemSpec
+from .audit import global_audit_interval, start_periodic_audit
 from .config import CachePolicy, StoreKind
 from .interface import HypervisorCacheBase
 from .pools import BlockKey, Pool, VMEntry
@@ -51,6 +52,9 @@ class _PoolTableCache(HypervisorCacheBase):
         self._next_vm_id = 1
         self._next_pool_id = 1
         self.counters = StoreStats(kind="memory")
+        audit_interval = global_audit_interval()
+        if audit_interval > 0:
+            start_periodic_audit(env, self, audit_interval)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -155,7 +159,10 @@ class _PoolTableCache(HypervisorCacheBase):
             if self._forget(pool, inode, block) is not None:
                 dropped += 1
                 self._on_drop(pool.pool_id, inode, block)
-            pool.stats.flushes += 1
+        # Same convention as DoubleDecker: ``flushes`` counts drops,
+        # ``flush_requests`` counts blocks asked about.
+        pool.stats.flush_requests += len(keys)
+        pool.stats.flushes += dropped
         return dropped
 
     def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
@@ -169,6 +176,7 @@ class _PoolTableCache(HypervisorCacheBase):
             if self._forget(pool, *key) is not None:
                 dropped += 1
                 self._on_drop(pool.pool_id, *key)
+        pool.stats.flush_requests += dropped
         pool.stats.flushes += dropped
         return dropped
 

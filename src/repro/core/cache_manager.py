@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..simkernel import Environment
 from ..storage import MB, MemSpec, SSD
+from .audit import global_audit_interval, start_periodic_audit
 from .config import CachePolicy, DDConfig, StoreKind
 from .interface import HypervisorCacheBase
 from .optimizations import DedupIndex, content_fingerprint
@@ -90,6 +91,12 @@ class DoubleDeckerCache(HypervisorCacheBase):
             StoreKind.MEMORY: StoreStats(kind="memory"),
             StoreKind.SSD: StoreStats(kind="ssd"),
         }
+
+        # Opt-in shadow accounting: per-config interval wins, else the
+        # process-wide switch installed by ``--audit`` / the test fixture.
+        audit_interval = config.audit_interval or global_audit_interval()
+        if audit_interval > 0:
+            start_periodic_audit(env, self, audit_interval)
 
     # ------------------------------------------------------------------
     # VM lifecycle (hypervisor-level policy controller)
@@ -303,7 +310,11 @@ class DoubleDeckerCache(HypervisorCacheBase):
                 if kind is MEMORY:
                     release(vm_id, key[0], key[1])
                 dropped += 1
-        pool.stats.flushes += len(keys)
+        # ``flushes`` counts blocks actually dropped (same as flush_inode);
+        # ``flush_requests`` counts blocks the guest asked about, so the
+        # miss rate of flushes stays observable without skewing drop stats.
+        pool.stats.flush_requests += len(keys)
+        pool.stats.flushes += dropped
         return dropped
 
     def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
@@ -320,6 +331,8 @@ class DoubleDeckerCache(HypervisorCacheBase):
         for kind, count in counts.items():
             self.used[kind] -= count
             dropped += count
+        # Every resident block of the inode is an implicit flush request.
+        pool.stats.flush_requests += dropped
         pool.stats.flushes += dropped
         return dropped
 
@@ -328,17 +341,32 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
         Only the key mapping changes; block data stays where it is, so the
         operation is metadata-only (as in the paper's MIGRATE_OBJECT).
+        Self-migration is a no-op (a remove/insert cycle would reset the
+        blocks' FIFO residence order, making them artificially youngest).
+        Blocks whose current store the target policy gives zero weight are
+        rejected — they stay in the source pool — so migration cannot
+        manufacture the stranded-block class ``_evict_round`` guards
+        against.
         """
         source = self._require_pool(vm_id, from_pool)
         target = self._require_pool(vm_id, to_pool)
+        if from_pool == to_pool:
+            return 0
         tree = source.files.get(inode)
         if tree is None:
             return 0
-        moves = list(tree.items())
-        for block, kind in moves:
+        target_policy = target.policy
+        moved = 0
+        for block, kind in list(tree.items()):
+            if target_policy.weight_for(kind) <= 0:
+                continue
             source.remove(inode, block)
             target.insert(inode, block, kind)
-        return len(moves)
+            moved += 1
+        if moved:
+            source.stats.migrated_out += moved
+            target.stats.migrated_in += moved
+        return moved
 
     # ------------------------------------------------------------------
     # Introspection
@@ -490,32 +518,44 @@ class DoubleDeckerCache(HypervisorCacheBase):
         return victim
 
     def _evict_round(self, kind: StoreKind) -> bool:
-        """One Algorithm-1 round: pick victim VM, then pool, evict a batch."""
+        """One Algorithm-1 round: pick victim VM, then pool, evict a batch.
+
+        Candidates are enumerated by *occupancy*, not policy weight:
+        blocks legitimately left in a store the policy no longer weights
+        (a ``set_policy`` store switch, or a trickle-down into a
+        memory-only pool) must stay reclaimable, or a full store wedges
+        with no visible victim.  Such entities keep entitlement 0 and get
+        weightage 0, so Algorithm 1 treats them as pure over-users.
+        """
         batch = self._eviction_batch
-        vm_entities = [
-            EvictionEntity(
+        vm_entities = []
+        for vm in self.vms.values():
+            weighted = bool(vm.pools_on(kind))
+            used = vm.used(kind)
+            if not weighted and used == 0:
+                continue
+            vm_entities.append(EvictionEntity(
                 ref=vm,
                 entitlement=self._vm_entitlements.get((vm.vm_id, kind), 0),
-                used=vm.used(kind),
-                weightage=vm.weight,
-            )
-            for vm in self.vms.values()
-            if vm.pools_on(kind)
-        ]
+                used=used,
+                weightage=vm.weight if weighted else 0.0,
+            ))
         victim_vm = self._select_victim(vm_entities, batch)
         if victim_vm is None:
             return False
 
         vm: VMEntry = victim_vm.ref
-        pool_entities = [
-            EvictionEntity(
+        pool_entities = []
+        for pool in vm.pools.values():
+            weight = pool.policy.weight_for(kind)
+            if weight <= 0 and pool.used[kind] == 0:
+                continue
+            pool_entities.append(EvictionEntity(
                 ref=pool,
                 entitlement=pool.entitlement[kind],
                 used=pool.used[kind],
-                weightage=pool.policy.weight_for(kind),
-            )
-            for pool in vm.pools_on(kind)
-        ]
+                weightage=weight,
+            ))
         victim_pool = self._select_victim(pool_entities, batch)
         if victim_pool is None:
             return False

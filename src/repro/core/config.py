@@ -112,6 +112,12 @@ class DDConfig:
     #: Fingerprint function ``(namespace, inode, block) -> int`` declaring
     #: which blocks share content; default makes every block unique.
     dedup_fingerprint: Optional[Callable[[object, int, int], int]] = None
+    #: Opt-in shadow-accounting self-check: every this many *simulated*
+    #: seconds the cache audits its own cross-layer bookkeeping
+    #: (:mod:`repro.core.audit`) and raises on any violation.  0 (the
+    #: default) disables the auditor; ``python -m repro.experiments
+    #: --audit`` enables it globally without touching configs.
+    audit_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mem_capacity_mb < 0 or self.ssd_capacity_mb < 0:
@@ -120,3 +126,5 @@ class DDConfig:
             raise ValueError(f"eviction batch must be positive: {self}")
         if self.victim_policy not in ("exceed", "max_used"):
             raise ValueError(f"unknown victim policy {self.victim_policy!r}")
+        if self.audit_interval < 0:
+            raise ValueError(f"audit interval must be non-negative: {self}")

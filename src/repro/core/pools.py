@@ -161,7 +161,10 @@ class Pool:
             puts=self.stats.puts,
             puts_stored=self.stats.puts_stored,
             flushes=self.stats.flushes,
+            flush_requests=self.stats.flush_requests,
             evictions=self.stats.evictions,
+            migrated_in=self.stats.migrated_in,
+            migrated_out=self.stats.migrated_out,
         )
         return stats
 

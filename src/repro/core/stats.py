@@ -28,8 +28,14 @@ class PoolStats:
     get_hits: int = 0
     puts: int = 0
     puts_stored: int = 0
+    #: Blocks actually dropped by flush_many/flush_inode (drops, not asks).
     flushes: int = 0
+    #: Blocks the guest asked to flush, whether or not they were resident.
+    flush_requests: int = 0
     evictions: int = 0
+    #: Blocks re-homed into/out of this pool by ``MIGRATE_OBJECT``.
+    migrated_in: int = 0
+    migrated_out: int = 0
 
     @property
     def hit_ratio(self) -> float:

@@ -32,18 +32,25 @@ from typing import Optional, Tuple
 from . import ALL_EXPERIMENTS
 
 
-def _run_one(task: Tuple[str, float, int, bool, bool]) -> Tuple[str, str, float, Optional[str]]:
+def _run_one(task: Tuple[str, float, int, bool, bool, float]) -> Tuple[str, str, float, Optional[str]]:
     """Run one experiment; module-level so multiprocessing can pickle it.
 
     Returns ``(name, summary, elapsed, json_text)`` — plain strings only,
     so the result pickles cheaply and the parent never needs the (large,
     unpicklable) simulation objects.
     """
-    name, scale, seed, plots, want_json = task
+    name, scale, seed, plots, want_json, audit = task
     cls = ALL_EXPERIMENTS[name]
-    started = time.time()
-    result = cls(scale=scale, seed=seed).run()
-    elapsed = time.time() - started
+    from ..core import set_audit_interval
+
+    # Installed here (not in main) so --jobs workers inherit it too.
+    set_audit_interval(audit)
+    try:
+        started = time.time()
+        result = cls(scale=scale, seed=seed).run()
+        elapsed = time.time() - started
+    finally:
+        set_audit_interval(0.0)
     summary = result.summary(plots=plots)
     json_text = None
     if want_json:
@@ -85,6 +92,12 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run experiments in N worker processes "
                              "(results identical to serial; default 1)")
+    parser.add_argument("--audit", type=float, nargs="?", const=10.0,
+                        default=0.0, metavar="SECONDS",
+                        help="audit every cache's shadow accounting every "
+                             "SECONDS simulated seconds (default 10 when "
+                             "the flag is given); aborts on any invariant "
+                             "violation")
     parser.add_argument("--profile", nargs="?", const="profile.pstats",
                         default=None, metavar="FILE",
                         help="profile the run with cProfile and dump "
@@ -119,7 +132,12 @@ def main(argv=None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    tasks = [(name, args.scale, args.seed, not args.no_plots, args.json)
+    if args.audit < 0:
+        print(f"--audit must be >= 0, got {args.audit}", file=sys.stderr)
+        return 2
+
+    tasks = [(name, args.scale, args.seed, not args.no_plots, args.json,
+              args.audit)
              for name in names]
 
     if args.profile is not None:
