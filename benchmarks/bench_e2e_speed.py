@@ -19,10 +19,15 @@ The record also includes the cost of shadow-accounting audits
 (``--audit``-style runs with a 10-simulated-second interval), so the
 overhead of self-checking stays measured rather than guessed.
 
+The record also times the SSD admission hook (``second_access`` as the
+process-wide default) against the admission-off run, so the cost of the
+endurance subsystem's per-put check stays measured too.
+
 Environment overrides: ``REPRO_E2E_BASELINE_S`` (seconds),
 ``REPRO_E2E_ROUNDS`` (default 2; the minimum is reported, which is the
 standard noise filter for wall-clock timing), ``REPRO_E2E_AUDIT_ROUNDS``
-(default 1; 0 skips the audit-on timing), and
+(default 1; 0 skips the audit-on timing), ``REPRO_E2E_ADMISSION_ROUNDS``
+(default 1; 0 skips the admission-on timing), and
 ``REPRO_E2E_MIN_SPEEDUP`` (default 0 — informational unless set).
 """
 
@@ -31,7 +36,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.core import set_audit_interval
+from repro.core import set_audit_interval, set_default_admission
 from repro.experiments.caching_modes import CachingModesExperiment
 
 #: Fixed configuration the baseline number was measured with.
@@ -54,6 +59,12 @@ AUDIT_ROUNDS = max(0, int(os.environ.get("REPRO_E2E_AUDIT_ROUNDS", "1")))
 
 #: Shadow-accounting self-check cadence for the audit-on rounds.
 AUDIT_INTERVAL_S = 10.0
+
+#: Admission-enabled timing rounds (0 skips the admission-on measurement).
+ADMISSION_ROUNDS = max(0, int(os.environ.get("REPRO_E2E_ADMISSION_ROUNDS", "1")))
+
+#: Admission policy timed against the admission-off run.
+ADMISSION_POLICY = "second_access"
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -100,6 +111,19 @@ def run_e2e():
         record["audit_rounds"] = AUDIT_ROUNDS
         record["audit_on_s"] = round(min(audit_times), 2)
         record["audit_overhead"] = round(min(audit_times) / elapsed, 2)
+    if ADMISSION_ROUNDS:
+        admission_times = []
+        set_default_admission(ADMISSION_POLICY)
+        try:
+            for _ in range(ADMISSION_ROUNDS):
+                admission_elapsed, _ = _time_run()
+                admission_times.append(admission_elapsed)
+        finally:
+            set_default_admission(None)
+        record["admission_policy"] = ADMISSION_POLICY
+        record["admission_rounds"] = ADMISSION_ROUNDS
+        record["admission_on_s"] = round(min(admission_times), 2)
+        record["admission_overhead"] = round(min(admission_times) / elapsed, 2)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     return record, result
 

@@ -10,8 +10,21 @@ Public surface:
 * :func:`get_victim` — Algorithm 1, usable standalone.
 * :func:`check_cache` / :func:`assert_consistent` — shadow-accounting
   invariant auditor (see :mod:`repro.core.audit`).
+* Admission controllers (:mod:`repro.endurance`) are re-exported here for
+  convenience: :class:`AdmitAll`, :class:`SecondAccessAdmit`,
+  :class:`WriteRateThrottle`, :func:`set_default_admission`.
 """
 
+from ..endurance import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmitAll,
+    SecondAccessAdmit,
+    WriteRateThrottle,
+    default_admission,
+    make_admission,
+    set_default_admission,
+)
 from .audit import (
     InvariantViolation,
     ReferenceCache,
@@ -34,6 +47,14 @@ from .stats import PoolStats, StoreStats
 from .victim import EvictionEntity, exceed_value, fallback_victim, get_victim
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmitAll",
+    "SecondAccessAdmit",
+    "WriteRateThrottle",
+    "default_admission",
+    "make_admission",
+    "set_default_admission",
     "BlockKey",
     "CachePolicy",
     "InvariantViolation",

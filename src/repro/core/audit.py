@@ -42,6 +42,7 @@ from .config import CachePolicy, DDConfig, StoreKind
 from .optimizations import content_fingerprint
 from .policy import recompute_entitlements
 from .pools import BlockKey
+from ..endurance import default_admission
 from ..storage import MB
 
 __all__ = [
@@ -283,13 +284,87 @@ def _check_doubledecker(cache) -> List[str]:
             f"recomputes {expected_units} units"
         )
 
-    # -- SSD backend occupancy ------------------------------------------
+    # -- put-outcome ledger (endurance accounting) ----------------------
+    # Every put is stored or lands in exactly one rejection bucket, so
+    # admission/backpressure rejections can never be silently dropped.
+    for pool in cache._pools.values():
+        stats = pool.stats
+        accounted = (
+            stats.puts_stored
+            + stats.put_rejected_policy
+            + stats.put_rejected_capacity
+            + stats.put_rejected_admission
+            + stats.put_rejected_backpressure
+        )
+        if stats.puts != accounted:
+            violations.append(
+                f"pool {pool.pool_id} ({pool.name!r}): put ledger leaks — "
+                f"{stats.puts} puts but {accounted} accounted "
+                f"(stored {stats.puts_stored}, policy "
+                f"{stats.put_rejected_policy}, capacity "
+                f"{stats.put_rejected_capacity}, admission "
+                f"{stats.put_rejected_admission}, backpressure "
+                f"{stats.put_rejected_backpressure})"
+            )
+        admission = pool.admission
+        if admission is not None:
+            if admission.attempts != admission.admitted + admission.rejected:
+                violations.append(
+                    f"pool {pool.pool_id}: admission ledger leaks — "
+                    f"{admission.attempts} attempts but "
+                    f"{admission.admitted} admitted + "
+                    f"{admission.rejected} rejected"
+                )
+            # The controller says no exactly when a put/trickle admission
+            # rejection is recorded; the pool counters can only exceed the
+            # live controller's if set_policy swapped in a fresh one.
+            pool_rejects = (
+                stats.put_rejected_admission + stats.trickle_rejected_admission
+            )
+            if pool_rejects < admission.rejected:
+                violations.append(
+                    f"pool {pool.pool_id}: admission controller counted "
+                    f"{admission.rejected} rejections but the pool only "
+                    f"recorded {pool_rejects}"
+                )
+
+    # -- SSD backend occupancy + write reconciliation -------------------
     backend = cache.ssd_backend
     if backend is not None:
         if not 0 <= backend.pending_blocks <= backend._buffer_capacity_blocks:
             violations.append(
                 f"SSD write buffer occupancy out of bounds: "
                 f"{backend.pending_blocks} of {backend._buffer_capacity_blocks}"
+            )
+        if backend.writes_enqueued != backend.blocks_written + backend.pending_blocks:
+            violations.append(
+                f"SSD write buffer leaks blocks: {backend.writes_enqueued} "
+                f"enqueued but {backend.blocks_written} written + "
+                f"{backend.pending_blocks} pending"
+            )
+        pool_writes = sum(
+            pool.stats.ssd_writes for pool in cache._pools.values()
+        ) + cache._ssd_writes_destroyed
+        if pool_writes != backend.writes_enqueued:
+            violations.append(
+                f"per-pool SSD writes do not reconcile with the store: "
+                f"pools enqueued {pool_writes} blocks but the backend "
+                f"counted {backend.writes_enqueued}"
+            )
+        device = backend.device
+        wear = device.wear
+        if wear is not None:
+            if wear.host_bytes_written != device.stats.bytes_written:
+                violations.append(
+                    f"wear model out of sync with device stats: "
+                    f"{wear.host_bytes_written} wear bytes vs "
+                    f"{device.stats.bytes_written} device bytes written"
+                )
+        if device.stats.bytes_written != device.stats.blocks_written * device.block_bytes:
+            violations.append(
+                f"device byte/block counters diverge: "
+                f"{device.stats.bytes_written} bytes vs "
+                f"{device.stats.blocks_written} blocks x {device.block_bytes}"
             )
 
     # -- entitlement freshness (shadow recompute, then restore) ---------
@@ -376,7 +451,46 @@ def _new_stats() -> Dict[str, int]:
         "gets": 0, "get_hits": 0, "puts": 0, "puts_stored": 0,
         "flushes": 0, "flush_requests": 0, "evictions": 0,
         "migrated_in": 0, "migrated_out": 0,
+        "put_rejected_policy": 0, "put_rejected_capacity": 0,
+        "put_rejected_admission": 0, "put_rejected_backpressure": 0,
+        "trickle_rejected_admission": 0, "ssd_writes": 0,
     }
+
+
+class _RefAdmission:
+    """Independent restatement of the admission semantics for the
+    reference model: a plain-list ghost FIFO (``second_access``) or
+    unconditional admit (``admit_all``).  ``write_throttle`` depends on
+    the simulation clock, which the reference does not model, so
+    differential corners must not select it."""
+
+    def __init__(self, name: str, ghost_blocks: int) -> None:
+        if name == "write_throttle":
+            raise NotImplementedError(
+                "write_throttle is time-based; the untimed reference "
+                "model cannot mirror it"
+            )
+        self.name = name
+        self.ghost_blocks = ghost_blocks
+        self.ghost: List[BlockKey] = []
+        self.attempts = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, key: BlockKey) -> bool:
+        self.attempts += 1
+        if self.name == "admit_all":
+            self.admitted += 1
+            return True
+        if key in self.ghost:
+            self.ghost.remove(key)
+            self.admitted += 1
+            return True
+        self.ghost.append(key)
+        if len(self.ghost) > self.ghost_blocks:
+            self.ghost.pop(0)
+        self.rejected += 1
+        return False
 
 
 class _RefPool:
@@ -392,6 +506,7 @@ class _RefPool:
         self.order: Dict[StoreKind, List[BlockKey]] = {_MEMORY: [], _SSD: []}
         self.entitlement: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
         self.stats = _new_stats()
+        self.admission: Optional[_RefAdmission] = None
 
     def used(self, kind: StoreKind) -> int:
         return len(self.order[kind])
@@ -553,6 +668,7 @@ class ReferenceCache:
         pool_id = self._next_pool_id
         self._next_pool_id += 1
         pool = _RefPool(pool_id, vm_id, name, policy)
+        pool.admission = self._build_admission(policy)
         vm.pools[pool_id] = pool
         self.pools[pool_id] = pool
         self._recompute()
@@ -569,7 +685,13 @@ class ReferenceCache:
         pool = self.vms[vm_id].pools[pool_id]
         if policy.ssd_weight > 0 and not self.has_ssd:
             raise ValueError("policy requests SSD but there is no SSD store")
+        # Mirror the manager: an unchanged admission policy keeps the live
+        # controller (its ghost survives), a change builds a fresh one.
+        old_name = pool.policy.admission or self.config.admission or default_admission()
+        new_name = policy.admission or self.config.admission or default_admission()
         pool.policy = policy
+        if new_name != old_name:
+            pool.admission = self._build_admission(policy)
         self._recompute()
         if not policy.uses_cache and pool.blocks:
             self._drain_pool(pool)
@@ -605,6 +727,7 @@ class ReferenceCache:
         pool.stats["puts"] += len(keys)
         policy = pool.policy
         if not policy.uses_cache:
+            pool.stats["put_rejected_policy"] += len(keys)
             return 0
         if policy.is_hybrid:
             fixed_kind = None
@@ -613,6 +736,7 @@ class ReferenceCache:
         else:
             fixed_kind = _SSD
         stored = 0
+        admission = pool.admission
         for key in keys:
             inode, block = key
             existing = pool.remove(key)
@@ -626,8 +750,14 @@ class ReferenceCache:
                     kind = _MEMORY
                 else:
                     kind = _SSD
-            if not self._make_room(kind, 1):
+            if kind is _SSD and admission is not None and not admission.admit(key):
+                pool.stats["put_rejected_admission"] += 1
                 continue
+            if not self._make_room(kind, 1):
+                pool.stats["put_rejected_capacity"] += 1
+                continue
+            if kind is _SSD:
+                pool.stats["ssd_writes"] += 1
             pool.insert(inode, block, kind)
             self.used[kind] += 1
             if kind is _MEMORY:
@@ -683,6 +813,22 @@ class ReferenceCache:
         return moved
 
     # -- internals -------------------------------------------------------
+
+    def _build_admission(self, policy: CachePolicy) -> Optional[_RefAdmission]:
+        """Same resolution order and ghost sizing as the manager's
+        ``_build_admission``, restated over the reference structures."""
+        if not self.has_ssd:
+            return None
+        name = policy.admission or self.config.admission or default_admission()
+        if not name:
+            return None
+        if self.config.admission_ghost_mb > 0:
+            ghost_blocks = max(
+                1, int(self.config.admission_ghost_mb * MB) // self.block_bytes
+            )
+        else:
+            ghost_blocks = max(1, self.capacities[_SSD])
+        return _RefAdmission(name, ghost_blocks)
 
     def _units_of(self, fp: int) -> int:
         return 1 if self.compression is None else self.compression.charged_units(fp)
@@ -831,11 +977,16 @@ class ReferenceCache:
                 trickle.append(key)
         if evicted:
             pool.stats["evictions"] += evicted
+            admission = pool.admission
             for key in trickle:
+                if admission is not None and not admission.admit(key):
+                    pool.stats["trickle_rejected_admission"] += 1
+                    continue
                 if not self._make_room(_SSD, 1):
                     break
                 pool.insert(key[0], key[1], _SSD)
                 self.used[_SSD] += 1
+                pool.stats["ssd_writes"] += 1
             return True
         return False
 

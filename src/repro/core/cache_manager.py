@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..endurance import default_admission, make_admission
 from ..simkernel import Environment
 from ..storage import MB, MemSpec, SSD
 from .audit import global_audit_interval, start_periodic_audit
@@ -92,6 +93,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
             StoreKind.SSD: StoreStats(kind="ssd"),
         }
 
+        #: ``ssd_writes`` of pools that no longer exist, so the auditor's
+        #: pool-vs-backend write reconciliation survives destroy_pool.
+        self._ssd_writes_destroyed = 0
+
         # Opt-in shadow accounting: per-config interval wins, else the
         # process-wide switch installed by ``--audit`` / the test fixture.
         audit_interval = config.audit_interval or global_audit_interval()
@@ -148,6 +153,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
         pool_id = self._next_pool_id
         self._next_pool_id += 1
         pool = Pool(pool_id, vm_id, name, policy)
+        pool.admission = self._build_admission(policy)
         vm.pools[pool_id] = pool
         self._pools[pool_id] = pool
         self._recompute()
@@ -156,6 +162,8 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def destroy_pool(self, vm_id: int, pool_id: int) -> None:
         pool = self._require_pool(vm_id, pool_id)
         self._drain_pool(pool)
+        # Keep the write reconciliation exact across pool lifetimes.
+        self._ssd_writes_destroyed += pool.stats.ssd_writes
         pool.active = False
         del self.vms[vm_id].pools[pool_id]
         del self._pools[pool_id]
@@ -165,7 +173,14 @@ class DoubleDeckerCache(HypervisorCacheBase):
         pool = self._require_pool(vm_id, pool_id)
         if policy.ssd_weight > 0 and self.ssd_backend is None:
             raise ValueError("policy requests SSD but the cache has no SSD store")
+        # Same resolved admission policy keeps the live controller (its
+        # ghost/bucket state and ledger survive a weight change); a policy
+        # switch builds a fresh one.
+        old_name = pool.policy.admission or self.config.admission or default_admission()
+        new_name = policy.admission or self.config.admission or default_admission()
         pool.policy = policy
+        if new_name != old_name:
+            pool.admission = self._build_admission(policy)
         self._recompute()
         # A container switched away from a store keeps already-cached
         # blocks there (they age out FIFO under pressure) unless it no
@@ -239,6 +254,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
         # depends on occupancy, which the loop itself advances).
         policy = pool.policy
         if not policy.uses_cache:
+            stats.put_rejected_policy += len(keys)
             self.store_counters[StoreKind.MEMORY].rejected_puts += len(keys)
             return 0
         MEMORY = StoreKind.MEMORY
@@ -261,6 +277,13 @@ class DoubleDeckerCache(HypervisorCacheBase):
         make_room = self._make_room
         counters = self.store_counters
         ssd_backend = self.ssd_backend
+        # Admission is consulted only for SSD-destined keys; with no
+        # controller configured the hook costs one hoisted None-check per
+        # batch, keeping the disabled path byte-identical to the
+        # pre-endurance data path.  Nothing yields inside the loop, so
+        # the clock is constant and hoisted for the time-based policies.
+        admission = pool.admission
+        now = self.env.now
         for key in keys:
             inode, block = key
             # Duplicate put: drop the stale copy first so accounting
@@ -274,14 +297,23 @@ class DoubleDeckerCache(HypervisorCacheBase):
             kind = fixed_kind
             if kind is None:  # hybrid spills to SSD past the memory share
                 kind = MEMORY if pool_used[MEMORY] < entitlement[MEMORY] else SSD
+            if kind is SSD and admission is not None and not admission.admit(key, now):
+                stats.put_rejected_admission += 1
+                counters[SSD].rejected_puts += 1
+                counters[SSD].rejected_admission += 1
+                continue
             if not make_room(kind, 1):
+                stats.put_rejected_capacity += 1
                 counters[kind].rejected_puts += 1
                 continue
             if kind is SSD:
                 assert ssd_backend is not None
                 if not ssd_backend.enqueue_write(1):
+                    stats.put_rejected_backpressure += 1
                     counters[kind].rejected_puts += 1
+                    counters[kind].rejected_backpressure += 1
                     continue
+                stats.ssd_writes += 1
             insert(inode, block, kind)
             used[kind] += 1
             if kind is MEMORY:
@@ -466,6 +498,27 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def _recompute(self) -> None:
         self._vm_entitlements = recompute_entitlements(self.vms, self.capacities)
 
+    def _build_admission(self, policy: CachePolicy):
+        """Resolve and build a pool's SSD admission controller.
+
+        Precedence: per-pool ``CachePolicy.admission``, then
+        ``DDConfig.admission``, then the process-wide default (the CLI
+        ``--admission`` flag).  Without an SSD store there is nothing to
+        protect, so no controller is built and the hook stays a strict
+        no-op.
+        """
+        if self.ssd_backend is None:
+            return None
+        name = policy.admission or self.config.admission or default_admission()
+        return make_admission(
+            name,
+            block_bytes=self.block_bytes,
+            ssd_capacity_blocks=self.capacities[StoreKind.SSD],
+            ghost_mb=self.config.admission_ghost_mb,
+            write_mb_s=self.config.admission_write_mb_s,
+            burst_mb=self.config.admission_burst_mb,
+        )
+
     def _choose_store(self, pool: Pool) -> Optional[StoreKind]:
         """Where a new put for ``pool`` should land (hybrid spills to SSD)."""
         policy = pool.policy
@@ -589,9 +642,22 @@ class DoubleDeckerCache(HypervisorCacheBase):
         return False
 
     def _trickle_down(self, pool: Pool, keys: List[BlockKey]) -> None:
-        """Third-chance path: re-home memory-evicted blocks on the SSD."""
+        """Third-chance path: re-home memory-evicted blocks on the SSD.
+
+        The admission controller guards this entrance to the flash store
+        too — a trickled block is an SSD write like any other — but its
+        rejections are tracked separately (``trickle_rejected_admission``)
+        because trickles are internal migrations, not guest puts, so they
+        must stay out of the put ledger.  An admission rejection skips
+        one key; store-full / buffer-full still abort the batch.
+        """
         assert self.ssd_backend is not None
+        admission = pool.admission
+        now = self.env.now
         for key in keys:
+            if admission is not None and not admission.admit(key, now):
+                pool.stats.trickle_rejected_admission += 1
+                continue
             if not self._make_room(StoreKind.SSD, 1):
                 break
             if not self.ssd_backend.enqueue_write(1):
@@ -599,6 +665,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
             inode, block = key
             pool.insert(inode, block, StoreKind.SSD)
             self.used[StoreKind.SSD] += 1
+            pool.stats.ssd_writes += 1
 
     def _shrink_to_fit(self, kind: StoreKind) -> None:
         """After a capacity reduction, evict until within the new limit."""

@@ -47,10 +47,18 @@ class CachePolicy:
 
     mem_weight: float = 0.0
     ssd_weight: float = 0.0
+    #: Per-container admission policy for the SSD store ("admit_all",
+    #: "second_access", "write_throttle"); ``None`` defers to
+    #: ``DDConfig.admission`` and then the process-wide default.
+    admission: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mem_weight < 0 or self.ssd_weight < 0:
             raise ValueError(f"weights must be non-negative: {self}")
+        if self.admission is not None and self.admission not in (
+            "admit_all", "second_access", "write_throttle"
+        ):
+            raise ValueError(f"unknown admission policy {self.admission!r}")
 
     @classmethod
     def memory(cls, weight: float) -> "CachePolicy":
@@ -58,14 +66,16 @@ class CachePolicy:
         return cls(mem_weight=weight)
 
     @classmethod
-    def ssd(cls, weight: float) -> "CachePolicy":
+    def ssd(cls, weight: float, admission: Optional[str] = None) -> "CachePolicy":
         """``<SSD, weight>``."""
-        return cls(ssd_weight=weight)
+        return cls(ssd_weight=weight, admission=admission)
 
     @classmethod
-    def hybrid(cls, mem_weight: float, ssd_weight: float) -> "CachePolicy":
+    def hybrid(
+        cls, mem_weight: float, ssd_weight: float, admission: Optional[str] = None
+    ) -> "CachePolicy":
         """Hybrid: memory share first, spill to SSD share when exhausted."""
-        return cls(mem_weight=mem_weight, ssd_weight=ssd_weight)
+        return cls(mem_weight=mem_weight, ssd_weight=ssd_weight, admission=admission)
 
     @classmethod
     def none(cls) -> "CachePolicy":
@@ -118,6 +128,20 @@ class DDConfig:
     #: default) disables the auditor; ``python -m repro.experiments
     #: --audit`` enables it globally without touching configs.
     audit_interval: float = 0.0
+    #: Default SSD admission policy for every pool of this cache
+    #: ("admit_all", "second_access", "write_throttle").  ``None`` falls
+    #: back to the process-wide default (``set_default_admission`` /
+    #: the CLI ``--admission`` flag); per-pool ``CachePolicy.admission``
+    #: overrides both.  With everything unset the admission hook is a
+    #: strict no-op.
+    admission: Optional[str] = None
+    #: Ghost-FIFO size for ``second_access`` in MB of block metadata;
+    #: 0 auto-sizes to the SSD store capacity.
+    admission_ghost_mb: float = 0.0
+    #: Token-bucket refill rate for ``write_throttle`` (MB/s of SSD puts).
+    admission_write_mb_s: float = 8.0
+    #: Token-bucket burst for ``write_throttle`` (MB).
+    admission_burst_mb: float = 64.0
 
     def __post_init__(self) -> None:
         if self.mem_capacity_mb < 0 or self.ssd_capacity_mb < 0:
@@ -128,3 +152,11 @@ class DDConfig:
             raise ValueError(f"unknown victim policy {self.victim_policy!r}")
         if self.audit_interval < 0:
             raise ValueError(f"audit interval must be non-negative: {self}")
+        if self.admission is not None and self.admission not in (
+            "admit_all", "second_access", "write_throttle"
+        ):
+            raise ValueError(f"unknown admission policy {self.admission!r}")
+        if self.admission_ghost_mb < 0:
+            raise ValueError(f"admission ghost must be non-negative: {self}")
+        if self.admission_write_mb_s <= 0 or self.admission_burst_mb <= 0:
+            raise ValueError(f"admission throttle rates must be positive: {self}")

@@ -27,7 +27,7 @@ class Pool:
     """One container's slice of the hypervisor cache."""
 
     __slots__ = ("pool_id", "vm_id", "name", "policy", "files", "fifos",
-                 "used", "entitlement", "stats", "active")
+                 "used", "entitlement", "stats", "active", "admission")
 
     def __init__(self, pool_id: int, vm_id: int, name: str, policy: CachePolicy) -> None:
         self.pool_id = pool_id
@@ -48,6 +48,8 @@ class Pool:
         self.stats = PoolStats(pool_id=pool_id, vm_id=vm_id, name=name)
         #: False once destroyed; guards against use-after-destroy.
         self.active = True
+        #: SSD admission controller (repro.endurance); None = admit freely.
+        self.admission = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -165,6 +167,12 @@ class Pool:
             evictions=self.stats.evictions,
             migrated_in=self.stats.migrated_in,
             migrated_out=self.stats.migrated_out,
+            put_rejected_policy=self.stats.put_rejected_policy,
+            put_rejected_capacity=self.stats.put_rejected_capacity,
+            put_rejected_admission=self.stats.put_rejected_admission,
+            put_rejected_backpressure=self.stats.put_rejected_backpressure,
+            trickle_rejected_admission=self.stats.trickle_rejected_admission,
+            ssd_writes=self.stats.ssd_writes,
         )
         return stats
 

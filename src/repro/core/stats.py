@@ -36,6 +36,17 @@ class PoolStats:
     #: Blocks re-homed into/out of this pool by ``MIGRATE_OBJECT``.
     migrated_in: int = 0
     migrated_out: int = 0
+    #: Put-outcome ledger: every put is stored or lands in exactly one of
+    #: these buckets, so ``puts == puts_stored + put_rejected_*`` holds.
+    put_rejected_policy: int = 0
+    put_rejected_capacity: int = 0
+    put_rejected_admission: int = 0
+    put_rejected_backpressure: int = 0
+    #: Trickle-down blocks the admission controller kept off the SSD
+    #: (not part of the put ledger — trickles are internal migrations).
+    trickle_rejected_admission: int = 0
+    #: Blocks this pool enqueued toward the SSD device (puts + trickles).
+    ssd_writes: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -62,6 +73,10 @@ class StoreStats:
     evictions: int = 0
     eviction_rounds: int = 0
     rejected_puts: int = 0
+    #: Subset of ``rejected_puts`` refused by the admission controller.
+    rejected_admission: int = 0
+    #: Subset of ``rejected_puts`` refused by a full SSD write buffer.
+    rejected_backpressure: int = 0
 
     @property
     def occupancy(self) -> float:

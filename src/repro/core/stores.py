@@ -95,6 +95,10 @@ class SSDBackend:
         #: cumulative counters
         self.writes_enqueued = 0
         self.writes_rejected = 0
+        #: blocks whose device write has completed (drained from buffer);
+        #: ``writes_enqueued == blocks_written + pending_blocks`` at every
+        #: event boundary (the auditor checks this).
+        self.blocks_written = 0
 
     # -- reads ------------------------------------------------------------------
 
@@ -139,3 +143,4 @@ class SSDBackend:
                 batch += self._pending.popleft()
             yield from self.device.write(0, batch)
             self._pending_blocks -= batch
+            self.blocks_written += batch

@@ -1,0 +1,55 @@
+"""Endurance reporting helpers shared by metrics and experiments.
+
+Turns raw wear counters into the quantities the endurance experiment
+tabulates: device bytes written, WAF, projected lifetime, and the
+efficiency figure the admission sweep optimizes for — *hit rate per GB
+written* (how many cache hits each gigabyte of flash wear buys).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["hits_per_gb_written", "format_lifetime", "endurance_summary"]
+
+_GB = 1024 * 1024 * 1024
+_DAY_S = 86400.0
+_YEAR_S = 365.0 * _DAY_S
+
+
+def hits_per_gb_written(hits: int, host_bytes_written: int) -> Optional[float]:
+    """Cache hits bought per GB of host writes; ``None`` when nothing written."""
+    if host_bytes_written <= 0:
+        return None
+    return hits / (host_bytes_written / _GB)
+
+
+def format_lifetime(lifetime_s: Optional[float]) -> str:
+    """Human-scale rendering of a projected lifetime in seconds."""
+    if lifetime_s is None:
+        return "inf"
+    if lifetime_s >= _YEAR_S:
+        return f"{lifetime_s / _YEAR_S:.1f}y"
+    if lifetime_s >= _DAY_S:
+        return f"{lifetime_s / _DAY_S:.1f}d"
+    if lifetime_s >= 3600.0:
+        return f"{lifetime_s / 3600.0:.1f}h"
+    return f"{lifetime_s:.0f}s"
+
+
+def endurance_summary(wear, elapsed_s: float, hits: int = 0) -> dict:
+    """One device's endurance picture as a flat dict of report fields.
+
+    ``wear`` is a :class:`repro.endurance.WearModel`; ``hits`` (optional)
+    adds the hit-rate-per-GB-written efficiency column.
+    """
+    lifetime = wear.projected_lifetime_s(elapsed_s)
+    return {
+        "ssd_gb_written": wear.host_bytes_written / _GB,
+        "flash_gb_written": wear.flash_bytes_written / _GB,
+        "waf": wear.waf,
+        "wear_pct": 100.0 * wear.wear_fraction,
+        "projected_lifetime_s": lifetime,
+        "projected_lifetime": format_lifetime(lifetime),
+        "hits_per_gb": hits_per_gb_written(hits, wear.host_bytes_written),
+    }

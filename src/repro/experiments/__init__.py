@@ -11,6 +11,7 @@ from .app_behavior import AppBehaviorExperiment
 from .caching_modes import CachingModesExperiment
 from .cooperative import CooperativeExperiment
 from .dynamic import DynamicContainersExperiment, DynamicVMsExperiment
+from .endurance import EnduranceExperiment
 from .flexible import FlexiblePolicyExperiment
 from .motivation import MotivationExperiment
 from .runner import Experiment, ExperimentResult, OccupancySampler, measure_window
@@ -24,6 +25,7 @@ ALL_EXPERIMENTS = {
     "cooperative": CooperativeExperiment,
     "dynamic_containers": DynamicContainersExperiment,
     "dynamic_vms": DynamicVMsExperiment,
+    "endurance": EnduranceExperiment,
 }
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "CooperativeExperiment",
     "DynamicContainersExperiment",
     "DynamicVMsExperiment",
+    "EnduranceExperiment",
     "Experiment",
     "ExperimentResult",
     "FlexiblePolicyExperiment",

@@ -32,25 +32,29 @@ from typing import Optional, Tuple
 from . import ALL_EXPERIMENTS
 
 
-def _run_one(task: Tuple[str, float, int, bool, bool, float]) -> Tuple[str, str, float, Optional[str]]:
+def _run_one(
+    task: Tuple[str, float, int, bool, bool, float, Optional[str]]
+) -> Tuple[str, str, float, Optional[str]]:
     """Run one experiment; module-level so multiprocessing can pickle it.
 
     Returns ``(name, summary, elapsed, json_text)`` — plain strings only,
     so the result pickles cheaply and the parent never needs the (large,
     unpicklable) simulation objects.
     """
-    name, scale, seed, plots, want_json, audit = task
+    name, scale, seed, plots, want_json, audit, admission = task
     cls = ALL_EXPERIMENTS[name]
-    from ..core import set_audit_interval
+    from ..core import set_audit_interval, set_default_admission
 
     # Installed here (not in main) so --jobs workers inherit it too.
     set_audit_interval(audit)
+    set_default_admission(admission)
     try:
         started = time.time()
         result = cls(scale=scale, seed=seed).run()
         elapsed = time.time() - started
     finally:
         set_audit_interval(0.0)
+        set_default_admission(None)
     summary = result.summary(plots=plots)
     json_text = None
     if want_json:
@@ -98,6 +102,10 @@ def main(argv=None) -> int:
                              "SECONDS simulated seconds (default 10 when "
                              "the flag is given); aborts on any invariant "
                              "violation")
+    parser.add_argument("--admission", default=None, metavar="POLICY",
+                        help="process-wide default SSD admission policy "
+                             "(admit_all, second_access, write_throttle) "
+                             "for pools that don't set their own")
     parser.add_argument("--profile", nargs="?", const="profile.pstats",
                         default=None, metavar="FILE",
                         help="profile the run with cProfile and dump "
@@ -136,8 +144,16 @@ def main(argv=None) -> int:
         print(f"--audit must be >= 0, got {args.audit}", file=sys.stderr)
         return 2
 
+    if args.admission is not None:
+        from ..core import ADMISSION_POLICIES
+
+        if args.admission not in ADMISSION_POLICIES:
+            print(f"unknown admission policy {args.admission!r}; choose from "
+                  f"{', '.join(ADMISSION_POLICIES)}", file=sys.stderr)
+            return 2
+
     tasks = [(name, args.scale, args.seed, not args.no_plots, args.json,
-              args.audit)
+              args.audit, args.admission)
              for name in names]
 
     if args.profile is not None:

@@ -62,7 +62,11 @@ WORKLOAD_TYPES = {
 
 
 def parse_policy(spec: Union[str, CachePolicy, None]) -> CachePolicy:
-    """Parse ``"mem:60"`` / ``"ssd:100"`` / ``"hybrid:40:60"`` / ``"none"``."""
+    """Parse ``"mem:60"`` / ``"ssd:100"`` / ``"hybrid:40:60"`` / ``"none"``.
+
+    SSD-backed kinds accept an optional trailing admission-policy name,
+    e.g. ``"ssd:100:second_access"`` or ``"hybrid:40:60:write_throttle"``.
+    """
     if spec is None:
         return CachePolicy.none()
     if isinstance(spec, CachePolicy):
@@ -75,9 +79,12 @@ def parse_policy(spec: Union[str, CachePolicy, None]) -> CachePolicy:
         if kind == "mem":
             return CachePolicy.memory(float(parts[1]))
         if kind == "ssd":
-            return CachePolicy.ssd(float(parts[1]))
+            admission = parts[2] if len(parts) > 2 else None
+            return CachePolicy.ssd(float(parts[1]), admission=admission)
         if kind == "hybrid":
-            return CachePolicy.hybrid(float(parts[1]), float(parts[2]))
+            admission = parts[3] if len(parts) > 3 else None
+            return CachePolicy.hybrid(float(parts[1]), float(parts[2]),
+                                      admission=admission)
     except (IndexError, ValueError) as exc:
         raise ValueError(f"malformed policy spec {spec!r}") from exc
     raise ValueError(f"unknown policy kind {kind!r} in {spec!r}")

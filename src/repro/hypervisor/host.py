@@ -74,6 +74,14 @@ class Host:
         self.vms: Dict[str, VirtualMachine] = {}
         self._vm_count = 0
         self.sampler = Sampler(env, self.registry, interval=10.0)
+        # Endurance gauges: the SSD's wear trajectory is part of every
+        # run's metrics, whether or not an experiment looks at it.
+        wear = self.ssd.wear
+        assert wear is not None
+        self.sampler.add(
+            "host.ssd.gb_written", lambda: wear.host_bytes_written / (1024 ** 3)
+        )
+        self.sampler.add("host.ssd.wear_pct", lambda: 100.0 * wear.wear_fraction)
 
     # -- hypervisor cache installation -------------------------------------------
 

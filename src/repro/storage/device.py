@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from typing import Optional, Union
 
+from ..endurance.wear import WearModel
 from ..simkernel import Environment, Resource
 from .specs import HDDSpec, SSDSpec
 
@@ -24,6 +25,7 @@ class DeviceStats:
     """Cumulative IO counters for one device."""
 
     __slots__ = ("reads", "writes", "blocks_read", "blocks_written",
+                 "bytes_read", "bytes_written",
                  "sequential_reads", "random_reads")
 
     def __init__(self) -> None:
@@ -31,6 +33,8 @@ class DeviceStats:
         self.writes = 0
         self.blocks_read = 0
         self.blocks_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
         self.sequential_reads = 0
         self.random_reads = 0
 
@@ -40,6 +44,8 @@ class DeviceStats:
             "writes": self.writes,
             "blocks_read": self.blocks_read,
             "blocks_written": self.blocks_written,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
             "sequential_reads": self.sequential_reads,
             "random_reads": self.random_reads,
         }
@@ -62,6 +68,8 @@ class BlockDevice:
         self.block_bytes = block_bytes
         self.resource = Resource(env, capacity=capacity)
         self.stats = DeviceStats()
+        # Endurance accounting; only flash devices attach a model.
+        self.wear: Optional[WearModel] = None
 
     def utilization(self) -> float:
         """Fraction of elapsed time the device was busy."""
@@ -82,6 +90,7 @@ class BlockDevice:
             yield self.env.timeout(service)
         self.stats.reads += 1
         self.stats.blocks_read += nblocks
+        self.stats.bytes_read += nblocks * self.block_bytes
         return self.env.now - start
 
     def write(self, offset_block: int, nblocks: int):
@@ -95,6 +104,11 @@ class BlockDevice:
             yield self.env.timeout(service)
         self.stats.writes += 1
         self.stats.blocks_written += nblocks
+        self.stats.bytes_written += nblocks * self.block_bytes
+        # Wear is charged at the same site as the stats so the auditor's
+        # device/wear reconciliation holds at every event boundary.
+        if self.wear is not None:
+            self.wear.record_write(nblocks)
         return self.env.now - start
 
     def _service_read(self, offset_block: int, nblocks: int) -> float:
@@ -158,6 +172,13 @@ class SSD(BlockDevice):
         spec = spec or SSDSpec()
         super().__init__(env, name, block_bytes, capacity=spec.channels)
         self.spec = spec
+        self.wear = WearModel(
+            block_bytes=block_bytes,
+            capacity_bytes=int(spec.capacity_gb * 1024 * 1024 * 1024),
+            pe_cycles=spec.pe_cycles,
+            erase_block_kb=spec.erase_block_kb,
+            waf=spec.waf,
+        )
 
     def _service_read(self, offset_block: int, nblocks: int) -> float:
         return self.spec.read_time(nblocks * self.block_bytes)

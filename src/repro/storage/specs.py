@@ -38,6 +38,12 @@ class SSDSpec:
 
     Defaults approximate the paper's Kingston V300 (SATA 3): ~450 MB/s
     sequential read, ~300 MB/s write, ~90 us random-read latency.
+
+    The endurance fields feed :class:`repro.endurance.WearModel`:
+    ``capacity_gb`` x ``pe_cycles`` bounds total flash programs (the V300
+    is TLC-class, ~3000 cycles), ``erase_block_kb`` sets the P/E
+    granularity, and ``waf`` is the write-amplification calibration knob
+    (1.0 = no garbage-collection overhead).
     """
 
     read_latency_us: float = 90.0
@@ -45,6 +51,10 @@ class SSDSpec:
     read_bandwidth_mbps: float = 450.0
     write_bandwidth_mbps: float = 300.0
     channels: int = 4
+    capacity_gb: float = 240.0
+    pe_cycles: int = 3000
+    erase_block_kb: float = 2048.0
+    waf: float = 1.0
 
     def read_time(self, nbytes: int) -> float:
         """Seconds to service one read of ``nbytes``."""

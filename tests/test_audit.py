@@ -45,7 +45,10 @@ MEMORY = StoreKind.MEMORY
 SSD_KIND = StoreKind.SSD
 
 STAT_FIELDS = ("gets", "get_hits", "puts", "puts_stored", "flushes",
-               "flush_requests", "evictions", "migrated_in", "migrated_out")
+               "flush_requests", "evictions", "migrated_in", "migrated_out",
+               "put_rejected_policy", "put_rejected_capacity",
+               "put_rejected_admission", "put_rejected_backpressure",
+               "trickle_rejected_admission", "ssd_writes")
 
 
 def run_gen(env, gen):
@@ -183,6 +186,19 @@ class DifferentialDriver:
             for field in STAT_FIELDS:
                 assert getattr(stats, field) == rp.stats[field], (
                     step_no, pid, field)
+            # Admission controllers must exist (or not) in lockstep and
+            # agree on their full ledger and ghost contents.
+            assert (dp.admission is None) == (rp.admission is None), (
+                step_no, pid, "admission presence")
+            if dp.admission is not None:
+                assert dp.admission.name == rp.admission.name, (step_no, pid)
+                for field in ("attempts", "admitted", "rejected"):
+                    assert (getattr(dp.admission, field)
+                            == getattr(rp.admission, field)), (
+                        step_no, pid, "admission", field)
+                if hasattr(dp.admission, "_ghost"):
+                    assert list(dp.admission._ghost) == rp.admission.ghost, (
+                        step_no, pid, "ghost")
 
     def run(self, ops, audit_every=100):
         for step_no in range(ops):
@@ -195,22 +211,28 @@ class DifferentialDriver:
 
 
 CORNERS = [
-    # (dedup, compression, trickle_down)
-    pytest.param(False, False, False, id="plain"),
-    pytest.param(True, False, False, id="dedup"),
-    pytest.param(False, True, False, id="compression"),
-    pytest.param(False, False, True, id="trickle"),
-    pytest.param(True, True, False, id="dedup+compression"),
-    pytest.param(True, True, True, id="all-on"),
+    # (dedup, compression, trickle_down, admission)
+    # ``write_throttle`` is deliberately absent: it depends on the
+    # simulation clock, which the untimed reference cannot mirror.
+    pytest.param(False, False, False, None, id="plain"),
+    pytest.param(True, False, False, None, id="dedup"),
+    pytest.param(False, True, False, None, id="compression"),
+    pytest.param(False, False, True, None, id="trickle"),
+    pytest.param(True, True, False, None, id="dedup+compression"),
+    pytest.param(True, True, True, None, id="all-on"),
+    pytest.param(False, False, False, "admit_all", id="admit-all"),
+    pytest.param(False, False, False, "second_access", id="second-access"),
+    pytest.param(False, False, True, "second_access",
+                 id="second-access+trickle"),
 ]
 
-#: 6 corners x 2000 ops = 12k random ops against the reference model.
+#: 9 corners x 2000 ops = 18k random ops against the reference model.
 OPS_PER_CORNER = 2000
 
 
 class TestDifferentialDoubleDecker:
-    @pytest.mark.parametrize("dedup,compression,trickle", CORNERS)
-    def test_matches_reference(self, dedup, compression, trickle):
+    @pytest.mark.parametrize("dedup,compression,trickle,admission", CORNERS)
+    def test_matches_reference(self, dedup, compression, trickle, admission):
         overrides = dict(
             trickle_down=trickle,
             dedup=dedup,
@@ -219,10 +241,33 @@ class TestDifferentialDoubleDecker:
                 if dedup else None
             ),
             compression=CompressionModel() if compression else None,
+            admission=admission,
         )
         env, dut = make_dd(**overrides)
         ref = ReferenceCache(dut.config, BLK, has_ssd=True)
         DifferentialDriver(env, dut, ref, seed=7).run(OPS_PER_CORNER)
+
+    def test_admission_policy_switch_matches_reference(self):
+        """Per-pool ``CachePolicy.admission`` swaps the controller on a
+        name change and keeps its ghost state otherwise — on both sides."""
+        env, dut = make_dd()
+        ref = ReferenceCache(dut.config, BLK, has_ssd=True)
+        driver = DifferentialDriver(env, dut, ref, seed=13)
+        switches = [
+            CachePolicy.ssd(100.0, admission="second_access"),
+            CachePolicy.ssd(100.0, admission="second_access"),  # kept
+            CachePolicy.hybrid(40.0, 60.0, admission="admit_all"),
+            CachePolicy.ssd(100.0),  # back to no controller
+            CachePolicy.hybrid(60.0, 40.0, admission="second_access"),
+        ]
+        for round_no, policy in enumerate(switches):
+            vm, pid = driver.pools[round_no % len(driver.pools)]
+            dut.set_policy(vm, pid, policy)
+            ref.set_policy(vm, pid, policy)
+            for step_no in range(250):
+                driver.step((round_no, step_no))
+            assert_consistent(dut, where=f"switch {round_no}")
+            driver.compare_full_state(f"switch {round_no}")
 
     def test_capacity_resize_matches_reference(self):
         env, dut = make_dd()
@@ -628,6 +673,60 @@ class TestAuditor:
         cache.used[MEMORY] += 2
         with pytest.raises(InvariantViolation, match="manager.used"):
             assert_consistent(cache, where="unit test")
+
+    # -- endurance invariants ------------------------------------------
+
+    def populated_ssd(self, **overrides):
+        env, cache = make_dd(**overrides)
+        vm = cache.register_vm("vm")
+        pool = cache.create_pool(vm, "ctr", CachePolicy.ssd(100.0))
+        run_gen(env, cache.put_many(vm, pool, [(1, b) for b in range(8)]))
+        return env, cache, vm, pool
+
+    def test_put_ledger_leak_is_caught(self):
+        _, cache, _, pool = self.populated_ssd()
+        assert check_cache(cache) == []
+        cache._pools[pool].stats.puts += 1
+        assert any("put ledger leaks" in v for v in check_cache(cache))
+
+    def test_rejection_misclassification_is_caught(self):
+        """Moving a rejection between buckets without a matching put is
+        exactly the drift the ledger exists to catch."""
+        _, cache, _, pool = self.populated_ssd()
+        cache._pools[pool].stats.put_rejected_backpressure += 1
+        assert any("put ledger leaks" in v for v in check_cache(cache))
+
+    def test_pool_ssd_writes_drift_is_caught(self):
+        _, cache, _, pool = self.populated_ssd()
+        cache._pools[pool].stats.ssd_writes += 1
+        assert any("do not reconcile" in v for v in check_cache(cache))
+
+    def test_backend_buffer_leak_is_caught(self):
+        env, cache, _, _ = self.populated_ssd()
+        env.run(until=10.0)  # let the write buffer drain
+        assert check_cache(cache) == []
+        cache.ssd_backend.blocks_written += 1
+        assert any("write buffer leaks" in v for v in check_cache(cache))
+
+    def test_wear_desync_is_caught(self):
+        env, cache, _, _ = self.populated_ssd()
+        env.run(until=10.0)
+        wear = cache.ssd_backend.device.wear
+        assert wear.host_bytes_written > 0  # the drain charged wear
+        wear.host_bytes_written += BLK
+        assert any("wear model out of sync" in v for v in check_cache(cache))
+
+    def test_admission_ledger_leak_is_caught(self):
+        _, cache, _, pool = self.populated_ssd(admission="second_access")
+        assert check_cache(cache) == []
+        cache._pools[pool].admission.attempts += 1
+        assert any("admission ledger leaks" in v for v in check_cache(cache))
+
+    def test_destroyed_pool_writes_stay_reconciled(self):
+        env, cache, vm, pool = self.populated_ssd()
+        assert cache._pools[pool].stats.ssd_writes > 0
+        cache.destroy_pool(vm, pool)
+        assert check_cache(cache) == []
 
 
 class TestPeriodicAudit:

@@ -28,6 +28,22 @@ class TestContiguousRuns:
         keys = [(1, 2), (1, 0), (1, 1)]
         assert contiguous_runs(keys) == [(0, 3)]
 
+    def test_adjacent_blocks_in_different_inodes_do_not_merge(self):
+        # Block numbers continue across the inode boundary ((1,5) then
+        # (2,6)), but runs must never span files.
+        keys = [(1, 4), (1, 5), (2, 6), (2, 7)]
+        assert contiguous_runs(keys) == [(4, 2), (6, 2)]
+
+    def test_all_single_block_runs(self):
+        keys = [(1, 0), (1, 2), (1, 4), (2, 0)]
+        assert contiguous_runs(keys) == [(0, 1), (2, 1), (4, 1), (0, 1)]
+
+    def test_same_block_number_restarting_per_inode(self):
+        # Each inode restarts at block 0; identical (start, len) tuples
+        # from different files stay separate runs.
+        keys = [(1, 0), (1, 1), (2, 0), (2, 1), (3, 0)]
+        assert contiguous_runs(keys) == [(0, 2), (0, 2), (0, 1)]
+
 
 class TestMemBackend:
     def test_costs_scale_with_blocks(self):
@@ -81,3 +97,24 @@ class TestSSDBackend:
     def test_zero_enqueue_is_trivially_true(self):
         env, device, backend = self.make()
         assert backend.enqueue_write(0)
+
+    def test_rejection_leaves_counters_balanced(self):
+        # A rejected enqueue must not disturb the buffer ledger:
+        # writes_enqueued == blocks_written + pending_blocks throughout.
+        env, device, backend = self.make(buffer_mb=1.0)
+        assert backend.enqueue_write(10)
+        assert not backend.enqueue_write(7)
+        assert backend.writes_enqueued == 10
+        assert backend.writes_rejected == 7
+        assert backend.blocks_written + backend.pending_blocks == 10
+
+    def test_blocks_written_tracks_drained_blocks(self):
+        env, device, backend = self.make(buffer_mb=4.0)
+        backend.enqueue_write(16)
+        backend.enqueue_write(16)
+        env.run(until=5.0)
+        assert backend.blocks_written == 32
+        assert backend.pending_blocks == 0
+        assert backend.writes_enqueued == backend.blocks_written
+        # The device-side byte counter agrees with the block counter.
+        assert device.stats.bytes_written == 32 * BLK
