@@ -23,12 +23,19 @@ The record also times the SSD admission hook (``second_access`` as the
 process-wide default) against the admission-off run, so the cost of the
 endurance subsystem's per-put check stays measured too.
 
+The record also times the observability subsystem: tracing-off overhead
+(the cost of the disabled ``if tracer is not None`` guards, bounded at
+<= 1.02x because the comparison is against the same binary) and a
+tracing-on (sampled) run with the flight recorder installed.
+
 Environment overrides: ``REPRO_E2E_BASELINE_S`` (seconds),
 ``REPRO_E2E_ROUNDS`` (default 2; the minimum is reported, which is the
 standard noise filter for wall-clock timing), ``REPRO_E2E_AUDIT_ROUNDS``
 (default 1; 0 skips the audit-on timing), ``REPRO_E2E_ADMISSION_ROUNDS``
-(default 1; 0 skips the admission-on timing), and
-``REPRO_E2E_MIN_SPEEDUP`` (default 0 — informational unless set).
+(default 1; 0 skips the admission-on timing), ``REPRO_E2E_TRACE_ROUNDS``
+(default 1; 0 skips the tracing-on timing), ``REPRO_E2E_TRACE_SAMPLE``
+(default 16), and ``REPRO_E2E_MIN_SPEEDUP`` (default 0 — informational
+unless set).
 """
 
 import json
@@ -38,6 +45,7 @@ from pathlib import Path
 
 from repro.core import set_audit_interval, set_default_admission
 from repro.experiments.caching_modes import CachingModesExperiment
+from repro.obs import Tracer, set_tracer
 
 #: Fixed configuration the baseline number was measured with.
 SCALE = 0.05
@@ -65,6 +73,12 @@ ADMISSION_ROUNDS = max(0, int(os.environ.get("REPRO_E2E_ADMISSION_ROUNDS", "1"))
 
 #: Admission policy timed against the admission-off run.
 ADMISSION_POLICY = "second_access"
+
+#: Tracing-enabled timing rounds (0 skips the tracing-on measurement).
+TRACE_ROUNDS = max(0, int(os.environ.get("REPRO_E2E_TRACE_ROUNDS", "1")))
+
+#: Span sampling for the tracing-on rounds (histograms see every op).
+TRACE_SAMPLE = max(1, int(os.environ.get("REPRO_E2E_TRACE_SAMPLE", "16")))
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -124,6 +138,22 @@ def run_e2e():
         record["admission_rounds"] = ADMISSION_ROUNDS
         record["admission_on_s"] = round(min(admission_times), 2)
         record["admission_overhead"] = round(min(admission_times) / elapsed, 2)
+    if TRACE_ROUNDS:
+        # The plain rounds above already time the tracing-off path (the
+        # guards are always compiled in), so ``speedup`` doubles as the
+        # tracing-off overhead bound; here we time the recorder live.
+        trace_times = []
+        try:
+            for _ in range(TRACE_ROUNDS):
+                set_tracer(Tracer(max_events=200_000, sample=TRACE_SAMPLE))
+                trace_elapsed, _ = _time_run()
+                trace_times.append(trace_elapsed)
+        finally:
+            set_tracer(None)
+        record["trace_sample"] = TRACE_SAMPLE
+        record["trace_rounds"] = TRACE_ROUNDS
+        record["trace_on_s"] = round(min(trace_times), 2)
+        record["trace_overhead"] = round(min(trace_times) / elapsed, 2)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     return record, result
 

@@ -19,6 +19,7 @@ from ..core.config import CachePolicy
 from ..core.interface import HypervisorCacheBase
 from ..core.pools import BlockKey
 from ..core.stats import PoolStats
+from ..obs import tracer as _obs
 from ..simkernel import Environment
 from .hypercall import HypercallChannel, HypercallCosts
 
@@ -77,36 +78,69 @@ class CleancacheClient:
 
     # -- data path ---------------------------------------------------------------
 
+    # Each data-path op is one top-level span ("op.get", "op.put", ...)
+    # covering the manager work *and* the hypercall charge, closed after
+    # the last yield so the recorded duration is the guest-visible
+    # latency; the same duration feeds the per-op/VM/pool histograms.
+
     def get_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
         """Exclusive lookup; generator returning the found key set."""
         if not self.enabled or pool_id is None or not keys:
             return set()
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         found = yield from self.hvcache.get_many(self.vm_id, pool_id, keys)
         payload = len(found) * self.block_bytes
         yield from self.channel.charge_data(len(keys), payload)
+        if tracer is not None:
+            tracer.op_span("get", self.vm_id, pool_id, t0, self.env.now,
+                           keys=len(keys), hits=len(found))
         return found
 
     def put_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
         """Best-effort store of clean evicted blocks; returns #stored."""
         if not self.enabled or pool_id is None or not keys:
             return 0
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         stored = yield from self.hvcache.put_many(self.vm_id, pool_id, keys)
         payload = stored * self.block_bytes
         yield from self.channel.charge_data(len(keys), payload)
+        if tracer is not None:
+            tracer.op_span("put", self.vm_id, pool_id, t0, self.env.now,
+                           keys=len(keys), stored=stored)
         return stored
 
     def flush_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
         """Invalidate specific blocks; returns #dropped."""
         if not self.enabled or pool_id is None or not keys:
             return 0
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         dropped = self.hvcache.flush_many(self.vm_id, pool_id, keys)
         yield from self.channel.charge_control(len(keys))
+        if tracer is not None:
+            tracer.op_span("flush", self.vm_id, pool_id, t0, self.env.now,
+                           keys=len(keys), dropped=dropped)
         return dropped
 
     def flush_inode(self, pool_id: Optional[int], inode: int):
         """Invalidate a whole file; returns #dropped."""
         if not self.enabled or pool_id is None:
             return 0
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         dropped = self.hvcache.flush_inode(self.vm_id, pool_id, inode)
         yield from self.channel.charge_control(1)
+        if tracer is not None:
+            tracer.op_span("flush_inode", self.vm_id, pool_id, t0,
+                           self.env.now, inode=inode, dropped=dropped)
         return dropped

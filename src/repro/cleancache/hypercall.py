@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import tracer as _obs
 from ..simkernel import Environment
 
 __all__ = ["HypercallChannel", "HypercallCosts"]
@@ -55,11 +56,26 @@ class HypercallChannel:
         self.calls += ncalls
         cost = self.costs.control_cost(ncalls)
         if cost > 0:
+            tracer = _obs.ACTIVE
+            if tracer is None:
+                yield self.env.timeout(cost)
+                return
+            tracer.span_begin()
+            t0 = self.env.now
             yield self.env.timeout(cost)
+            tracer.span_end("hypercall.control", t0, self.env.now, calls=ncalls)
 
     def charge_data(self, ncalls: int, payload_bytes: int):
         """Generator: pay for data-moving hypercalls."""
         self.calls += ncalls
         cost = self.costs.data_cost(ncalls, payload_bytes)
         if cost > 0:
+            tracer = _obs.ACTIVE
+            if tracer is None:
+                yield self.env.timeout(cost)
+                return
+            tracer.span_begin()
+            t0 = self.env.now
             yield self.env.timeout(cost)
+            tracer.span_end("hypercall.data", t0, self.env.now,
+                            calls=ncalls, payload_bytes=payload_bytes)

@@ -393,6 +393,15 @@ def _check_doubledecker(cache) -> List[str]:
         for pool in cache._pools.values():
             for kind in _KINDS:
                 pool.entitlement[kind] = pool_snapshot[(pool.pool_id, kind)]
+
+    # -- decision-provenance ledger (observability cross-check) ---------
+    # Two independent records of the same ops: the tracer's per-pool
+    # provenance ledger must equal the shadow-accounted pool counters.
+    from ..obs import tracer as _obs
+    tracer = _obs.ACTIVE
+    if tracer is not None:
+        violations.extend(_obs.ledger_violations(tracer, cache))
+
     return violations
 
 

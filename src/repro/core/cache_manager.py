@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..endurance import default_admission, make_admission
+from ..obs import tracer as _obs
 from ..simkernel import Environment
 from ..storage import MB, MemSpec, SSD
 from .audit import global_audit_interval, start_periodic_audit
@@ -27,7 +28,13 @@ from .policy import recompute_entitlements
 from .pools import BlockKey, Pool, VMEntry
 from .stats import PoolStats, StoreStats
 from .stores import MemBackend, SSDBackend, contiguous_runs
-from .victim import EvictionEntity, fallback_victim, get_victim
+from .victim import (
+    EvictionEntity,
+    exceed_value,
+    fallback_victim,
+    get_victim,
+    selection_state,
+)
 
 __all__ = ["DoubleDeckerCache"]
 
@@ -97,6 +104,15 @@ class DoubleDeckerCache(HypervisorCacheBase):
         #: pool-vs-backend write reconciliation survives destroy_pool.
         self._ssd_writes_destroyed = 0
 
+        # Decision-provenance label: unique per cache instance so traces
+        # from experiments that build several caches (whose pool ids all
+        # restart at 1) never mix.  None when built untraced — the
+        # auditor's ledger cross-check skips such caches.
+        tracer = _obs.ACTIVE
+        self._obs_label: Optional[str] = (
+            tracer.register_cache(name) if tracer is not None else None
+        )
+
         # Opt-in shadow accounting: per-config interval wins, else the
         # process-wide switch installed by ``--audit`` / the test fixture.
         audit_interval = config.audit_interval or global_audit_interval()
@@ -112,6 +128,11 @@ class DoubleDeckerCache(HypervisorCacheBase):
         self._next_vm_id += 1
         self.vms[vm_id] = VMEntry(vm_id, name, weight)
         self._recompute()
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.note_vm(self._obs_label, vm_id, name)
+            tracer.instant("vm.register", self.env.now, vm=vm_id,
+                           cache=self._obs_label, vm_name=name, weight=weight)
         return vm_id
 
     def unregister_vm(self, vm_id: int) -> None:
@@ -157,6 +178,13 @@ class DoubleDeckerCache(HypervisorCacheBase):
         vm.pools[pool_id] = pool
         self._pools[pool_id] = pool
         self._recompute()
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.note_pool(self._obs_label, pool_id, name)
+            tracer.instant("pool.create", self.env.now, vm=vm_id, pool=pool_id,
+                           cache=self._obs_label, pool_name=name,
+                           mem_weight=policy.mem_weight,
+                           ssd_weight=policy.ssd_weight)
         return pool_id
 
     def destroy_pool(self, vm_id: int, pool_id: int) -> None:
@@ -168,6 +196,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         del self.vms[vm_id].pools[pool_id]
         del self._pools[pool_id]
         self._recompute()
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.instant("pool.destroy", self.env.now, vm=vm_id,
+                           pool=pool_id, cache=self._obs_label)
 
     def set_policy(self, vm_id: int, pool_id: int, policy: CachePolicy) -> None:
         pool = self._require_pool(vm_id, pool_id)
@@ -182,6 +214,13 @@ class DoubleDeckerCache(HypervisorCacheBase):
         if new_name != old_name:
             pool.admission = self._build_admission(policy)
         self._recompute()
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.instant("policy.set", self.env.now, vm=vm_id, pool=pool_id,
+                           cache=self._obs_label,
+                           mem_weight=policy.mem_weight,
+                           ssd_weight=policy.ssd_weight,
+                           admission=new_name)
         # A container switched away from a store keeps already-cached
         # blocks there (they age out FIFO under pressure) unless it no
         # longer uses the cache at all, in which case they are dropped.
@@ -206,6 +245,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def get_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
         """Exclusive lookup; generator returning the set of found keys."""
         pool = self._require_pool(vm_id, pool_id)
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         found: Set[BlockKey] = set()
         mem_hits = 0
         ssd_keys: List[BlockKey] = []
@@ -233,6 +276,12 @@ class DoubleDeckerCache(HypervisorCacheBase):
                 append_ssd(key)
             add_found(key)
         stats.get_hits += len(found)
+        # Ledger before the trailing yields (mirrors the stats updates, so
+        # the auditor reconciles even if the generator never resumes);
+        # the span closes after them so its duration is the real latency.
+        if tracer is not None and self._obs_label is not None:
+            tracer.ledger_update(self._obs_label, pool_id,
+                                 gets=len(keys), get_hits=len(found))
         if mem_hits:
             cost = self.mem_backend.read_cost(mem_hits)
             if self.compression is not None:
@@ -241,6 +290,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         if ssd_keys:
             assert self.ssd_backend is not None
             yield from self.ssd_backend.read_runs(contiguous_runs(ssd_keys))
+        if tracer is not None:
+            tracer.span_end("cache.get", t0, self.env.now, vm=vm_id,
+                            pool=pool_id, keys=len(keys), hits=len(found),
+                            mem_hits=mem_hits, ssd_hits=len(ssd_keys))
         return found
 
     def put_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]):
@@ -248,6 +301,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         pool = self._require_pool(vm_id, pool_id)
         stats = pool.stats
         stats.puts += len(keys)
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         # The policy cannot change mid-batch (nothing yields inside the
         # loop), so the uses-cache and store-choice branches are decided
         # once; only the hybrid mode re-checks per key (its spill point
@@ -256,7 +313,26 @@ class DoubleDeckerCache(HypervisorCacheBase):
         if not policy.uses_cache:
             stats.put_rejected_policy += len(keys)
             self.store_counters[StoreKind.MEMORY].rejected_puts += len(keys)
+            if tracer is not None:
+                if self._obs_label is not None:
+                    tracer.ledger_update(self._obs_label, pool_id,
+                                         puts=len(keys),
+                                         put_rejected_policy=len(keys))
+                    tracer.instant("put.outcome", self.env.now, vm=vm_id,
+                                   pool=pool_id, cache=self._obs_label,
+                                   puts=len(keys), stored=0,
+                                   rejected_policy=len(keys),
+                                   rejected_capacity=0, rejected_admission=0,
+                                   rejected_backpressure=0, ssd=0)
+                tracer.span_end("cache.put", t0, self.env.now, vm=vm_id,
+                                pool=pool_id, keys=len(keys), stored=0)
             return 0
+        if tracer is not None:
+            # Deltas, not absolutes: eviction triggered by this very batch
+            # can touch other counters of the same pool mid-loop.
+            rej_capacity0 = stats.put_rejected_capacity
+            rej_admission0 = stats.put_rejected_admission
+            rej_backpressure0 = stats.put_rejected_backpressure
         MEMORY = StoreKind.MEMORY
         SSD = StoreKind.SSD
         if policy.is_hybrid:
@@ -321,11 +397,41 @@ class DoubleDeckerCache(HypervisorCacheBase):
                 mem_stores += 1
             stored += 1
         stats.puts_stored += stored
+        if tracer is not None:
+            rejected_capacity = stats.put_rejected_capacity - rej_capacity0
+            rejected_admission = stats.put_rejected_admission - rej_admission0
+            rejected_backpressure = (
+                stats.put_rejected_backpressure - rej_backpressure0
+            )
+            if self._obs_label is not None:
+                # Put-path SSD writes are ``stored - mem_stores`` (not a
+                # counter delta: trickle-down during this batch's own
+                # evictions may bump the same pool's ``ssd_writes`` and
+                # ledgers those itself).
+                tracer.ledger_update(
+                    self._obs_label, pool_id,
+                    puts=len(keys), puts_stored=stored,
+                    put_rejected_capacity=rejected_capacity,
+                    put_rejected_admission=rejected_admission,
+                    put_rejected_backpressure=rejected_backpressure,
+                    ssd_writes=stored - mem_stores,
+                )
+                tracer.instant("put.outcome", self.env.now, vm=vm_id,
+                               pool=pool_id, cache=self._obs_label,
+                               puts=len(keys), stored=stored,
+                               rejected_policy=0,
+                               rejected_capacity=rejected_capacity,
+                               rejected_admission=rejected_admission,
+                               rejected_backpressure=rejected_backpressure,
+                               ssd=stored - mem_stores)
         if mem_stores:
             cost = self.mem_backend.write_cost(mem_stores)
             if self.compression is not None:
                 cost += self.compression.compress_cost(mem_stores)
             yield self.env.timeout(cost)
+        if tracer is not None:
+            tracer.span_end("cache.put", t0, self.env.now, vm=vm_id,
+                            pool=pool_id, keys=len(keys), stored=stored)
         return stored
 
     def flush_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]) -> int:
@@ -347,6 +453,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         # miss rate of flushes stays observable without skewing drop stats.
         pool.stats.flush_requests += len(keys)
         pool.stats.flushes += dropped
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.ledger_update(self._obs_label, pool_id,
+                                 flush_requests=len(keys), flushes=dropped)
         return dropped
 
     def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
@@ -366,6 +476,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         # Every resident block of the inode is an implicit flush request.
         pool.stats.flush_requests += dropped
         pool.stats.flushes += dropped
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            tracer.ledger_update(self._obs_label, pool_id,
+                                 flush_requests=dropped, flushes=dropped)
         return dropped
 
     def migrate_objects(self, vm_id: int, from_pool: int, to_pool: int, inode: int) -> int:
@@ -398,6 +512,16 @@ class DoubleDeckerCache(HypervisorCacheBase):
         if moved:
             source.stats.migrated_out += moved
             target.stats.migrated_in += moved
+        tracer = _obs.ACTIVE
+        if tracer is not None and self._obs_label is not None:
+            if moved:
+                tracer.ledger_update(self._obs_label, from_pool,
+                                     migrated_out=moved)
+                tracer.ledger_update(self._obs_label, to_pool,
+                                     migrated_in=moved)
+            tracer.instant("migrate", self.env.now, vm=vm_id, pool=from_pool,
+                           cache=self._obs_label, from_pool=from_pool,
+                           to_pool=to_pool, inode=inode, moved=moved)
         return moved
 
     # ------------------------------------------------------------------
@@ -636,6 +760,30 @@ class DoubleDeckerCache(HypervisorCacheBase):
             counters = self.store_counters[kind]
             counters.evictions += evicted
             counters.eviction_rounds += 1
+            tracer = _obs.ACTIVE
+            if tracer is not None and self._obs_label is not None:
+                tracer.ledger_update(self._obs_label, pool.pool_id,
+                                     evictions=evicted)
+                # Re-derive each candidate's Algorithm-1 exceed value from
+                # the same (slack, weight) state the selection used, so
+                # the trace shows *why* this entity lost.
+                vm_b, vm_cw = selection_state(vm_entities, batch)
+                pool_b, pool_cw = selection_state(pool_entities, batch)
+                tracer.instant(
+                    "evict.round", self.env.now, vm=pool.vm_id,
+                    pool=pool.pool_id, cache=self._obs_label,
+                    store=kind.value, batch=batch, evicted=evicted,
+                    trickled=len(trickle),
+                    victim_vm=vm.vm_id, victim_pool=pool.pool_id,
+                    vm_candidates=[
+                        [e.ref.name, exceed_value(e, batch, vm_b, vm_cw)]
+                        for e in vm_entities
+                    ],
+                    pool_candidates=[
+                        [e.ref.name, exceed_value(e, batch, pool_b, pool_cw)]
+                        for e in pool_entities
+                    ],
+                )
             if trickle:
                 self._trickle_down(pool, trickle)
             return True
@@ -654,6 +802,12 @@ class DoubleDeckerCache(HypervisorCacheBase):
         assert self.ssd_backend is not None
         admission = pool.admission
         now = self.env.now
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            # Counter snapshots are safe here: nested SSD eviction rounds
+            # (via ``_make_room``) never touch these two fields.
+            rejected0 = pool.stats.trickle_rejected_admission
+            writes0 = pool.stats.ssd_writes
         for key in keys:
             if admission is not None and not admission.admit(key, now):
                 pool.stats.trickle_rejected_admission += 1
@@ -666,6 +820,16 @@ class DoubleDeckerCache(HypervisorCacheBase):
             pool.insert(inode, block, StoreKind.SSD)
             self.used[StoreKind.SSD] += 1
             pool.stats.ssd_writes += 1
+        if tracer is not None and self._obs_label is not None:
+            written = pool.stats.ssd_writes - writes0
+            rejected = pool.stats.trickle_rejected_admission - rejected0
+            tracer.ledger_update(self._obs_label, pool.pool_id,
+                                 ssd_writes=written,
+                                 trickle_rejected_admission=rejected)
+            tracer.instant("trickle.down", self.env.now, vm=pool.vm_id,
+                           pool=pool.pool_id, cache=self._obs_label,
+                           candidates=len(keys), written=written,
+                           rejected_admission=rejected)
 
     def _shrink_to_fit(self, kind: StoreKind) -> None:
         """After a capacity reduction, evict until within the new limit."""

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
-__all__ = ["EvictionEntity", "get_victim", "exceed_value", "fallback_victim"]
+__all__ = ["EvictionEntity", "get_victim", "exceed_value", "fallback_victim",
+           "selection_state"]
 
 
 @dataclass
@@ -50,6 +51,24 @@ def exceed_value(
     else:
         redistributed = 0.0
     return entity.used + eviction_size - (entity.entitlement + redistributed)
+
+
+def selection_state(
+    entities: Sequence[EvictionEntity], eviction_size: int
+) -> "tuple[int, float]":
+    """The ``(underused_buffer, cumulative_weight)`` pair Algorithm 1
+    derives before scoring candidates — the same slack/weight scan
+    :func:`get_victim` performs, exposed so decision-provenance tracing
+    can recompute each candidate's exceed value without re-running (or
+    perturbing) the selection itself."""
+    cumulative_weight = 0.0
+    underused_buffer = 0
+    for entity in entities:
+        if entity.entitlement < entity.used + eviction_size:
+            cumulative_weight += entity.weightage
+        if entity.entitlement - entity.used > 2 * eviction_size:
+            underused_buffer += entity.entitlement - entity.used
+    return underused_buffer, cumulative_weight
 
 
 def get_victim(

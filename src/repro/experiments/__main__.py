@@ -7,6 +7,13 @@ Usage::
     python -m repro.experiments all --scale 0.25 --out results/
     python -m repro.experiments all --scale 0.25 --jobs 4
     python -m repro.experiments caching_modes --profile hot.pstats
+    python -m repro.experiments caching_modes --trace --audit
+
+``--trace [PREFIX]`` turns on the flight recorder for each experiment and
+writes ``PREFIX_<name>.jsonl`` (lossless, ``python -m repro.obs`` reads
+it) plus ``PREFIX_<name>.perfetto.json`` (load in Perfetto/chrome about
+tracing); the run report grows a per-op latency quantile table.  Tracing
+off, output is byte-identical to a build without the subsystem.
 
 Each experiment prints the same rows/series its paper table or figure
 reports (see DESIGN.md's per-experiment index).
@@ -33,21 +40,32 @@ from . import ALL_EXPERIMENTS
 
 
 def _run_one(
-    task: Tuple[str, float, int, bool, bool, float, Optional[str]]
-) -> Tuple[str, str, float, Optional[str]]:
+    task: Tuple[str, float, int, bool, bool, float, Optional[str],
+                Optional[str], int, int]
+) -> Tuple[str, str, float, Optional[str], Optional[str], Optional[str]]:
     """Run one experiment; module-level so multiprocessing can pickle it.
 
-    Returns ``(name, summary, elapsed, json_text)`` — plain strings only,
-    so the result pickles cheaply and the parent never needs the (large,
-    unpicklable) simulation objects.
+    Returns ``(name, summary, elapsed, json_text, trace_jsonl,
+    trace_perfetto)`` — plain strings only, so the result pickles cheaply
+    and the parent never needs the (large, unpicklable) simulation
+    objects.  The trace fields are ``None`` with tracing off, keeping the
+    untraced output byte-identical whether or not this build knows about
+    tracing.
     """
-    name, scale, seed, plots, want_json, audit, admission = task
+    (name, scale, seed, plots, want_json, audit, admission,
+     trace, trace_ops, trace_sample) = task
     cls = ALL_EXPERIMENTS[name]
     from ..core import set_audit_interval, set_default_admission
 
     # Installed here (not in main) so --jobs workers inherit it too.
     set_audit_interval(audit)
     set_default_admission(admission)
+    tracer = None
+    if trace is not None:
+        from ..obs import Tracer, set_tracer
+
+        tracer = Tracer(max_events=trace_ops, sample=trace_sample)
+        set_tracer(tracer)
     try:
         started = time.time()
         result = cls(scale=scale, seed=seed).run()
@@ -55,16 +73,30 @@ def _run_one(
     finally:
         set_audit_interval(0.0)
         set_default_admission(None)
+        if tracer is not None:
+            from ..obs import set_tracer
+
+            set_tracer(None)
+    trace_jsonl = trace_perfetto = None
+    if tracer is not None:
+        from ..obs import attach_latency_report, to_jsonl, to_perfetto
+
+        # Fold p50/p90/p99/p999 per op into the run report itself.
+        attach_latency_report(result, tracer)
+        trace_jsonl = to_jsonl(tracer)
+        trace_perfetto = to_perfetto(tracer)
     summary = result.summary(plots=plots)
     json_text = None
     if want_json:
         from ..analysis import result_to_json
 
         json_text = result_to_json(result)
-    return name, summary, elapsed, json_text
+    return name, summary, elapsed, json_text, trace_jsonl, trace_perfetto
 
 
-def _emit(args, name: str, summary: str, elapsed: float, json_text: Optional[str]) -> None:
+def _emit(args, name: str, summary: str, elapsed: float,
+          json_text: Optional[str], trace_jsonl: Optional[str] = None,
+          trace_perfetto: Optional[str] = None) -> None:
     cls = ALL_EXPERIMENTS[name]
     print(f"\n### running {name} ({cls.exp_id}) at scale {args.scale} ###")
     print(summary)
@@ -73,6 +105,14 @@ def _emit(args, name: str, summary: str, elapsed: float, json_text: Optional[str
         (args.out / f"{name}.txt").write_text(summary + "\n")
         if json_text is not None:
             (args.out / f"{name}.json").write_text(json_text)
+    if trace_jsonl is not None:
+        # Artifacts are written by the parent in canonical experiment
+        # order, so --jobs fan-out yields the same files as a serial run.
+        jsonl_path = Path(f"{args.trace}_{name}.jsonl")
+        perfetto_path = Path(f"{args.trace}_{name}.perfetto.json")
+        jsonl_path.write_text(trace_jsonl)
+        perfetto_path.write_text(trace_perfetto)
+        print(f"(trace written to {jsonl_path} and {perfetto_path})")
 
 
 def main(argv=None) -> int:
@@ -106,6 +146,19 @@ def main(argv=None) -> int:
                         help="process-wide default SSD admission policy "
                              "(admit_all, second_access, write_throttle) "
                              "for pools that don't set their own")
+    parser.add_argument("--trace", nargs="?", const="trace", default=None,
+                        metavar="PREFIX",
+                        help="record an operation/provenance trace per "
+                             "experiment; writes PREFIX_<name>.jsonl and "
+                             "PREFIX_<name>.perfetto.json (PREFIX defaults "
+                             "to 'trace'); analyze with python -m repro.obs")
+    parser.add_argument("--trace-ops", type=int, default=200_000, metavar="N",
+                        help="flight-recorder capacity: keep the newest N "
+                             "events (default 200000)")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="K",
+                        help="record every Kth span per span type; "
+                             "histograms and provenance still see every op "
+                             "(default 1 = record all)")
     parser.add_argument("--profile", nargs="?", const="profile.pstats",
                         default=None, metavar="FILE",
                         help="profile the run with cProfile and dump "
@@ -152,8 +205,17 @@ def main(argv=None) -> int:
                   f"{', '.join(ADMISSION_POLICIES)}", file=sys.stderr)
             return 2
 
+    if args.trace_ops < 1:
+        print(f"--trace-ops must be >= 1, got {args.trace_ops}", file=sys.stderr)
+        return 2
+    if args.trace_sample < 1:
+        print(f"--trace-sample must be >= 1, got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+
     tasks = [(name, args.scale, args.seed, not args.no_plots, args.json,
-              args.audit, args.admission)
+              args.audit, args.admission,
+              args.trace, args.trace_ops, args.trace_sample)
              for name in names]
 
     if args.profile is not None:
@@ -182,8 +244,8 @@ def main(argv=None) -> int:
         # imap preserves submission order, so output stays deterministic
         # no matter which worker finishes first.
         with mp.Pool(processes=min(args.jobs, len(tasks))) as pool:
-            for name, summary, elapsed, json_text in pool.imap(_run_one, tasks):
-                _emit(args, name, summary, elapsed, json_text)
+            for outcome in pool.imap(_run_one, tasks):
+                _emit(args, *outcome)
     else:
         for task in tasks:
             _emit(args, *_run_one(task))

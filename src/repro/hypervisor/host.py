@@ -23,6 +23,7 @@ from ..core import (
 )
 from ..guest import VirtualMachine
 from ..metrics import MetricsRegistry, Sampler
+from ..obs import tracer as _obs
 from ..simkernel import Environment, RandomStreams
 from ..storage import HDD, KB, SSD, HDDSpec, SSDSpec
 
@@ -62,6 +63,10 @@ class Host:
         self.spec = spec or HostSpec()
         self.streams = streams or RandomStreams(0)
         self.registry = registry or MetricsRegistry()
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            # Run reports read op latencies straight from the registry.
+            tracer.bind_registry(self.registry)
         self.block_bytes = self.spec.block_bytes
         self.hdd = HDD(
             env,

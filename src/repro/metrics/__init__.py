@@ -2,9 +2,10 @@
 
 from .collector import MetricsRegistry, Sampler
 from .reporting import ascii_plot, format_series_csv, format_table
-from .timeseries import SummaryStat, TimeSeries
+from .timeseries import Histogram, SummaryStat, TimeSeries
 
 __all__ = [
+    "Histogram",
     "MetricsRegistry",
     "Sampler",
     "SummaryStat",

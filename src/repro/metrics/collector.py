@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
-from .timeseries import SummaryStat, TimeSeries
+from .timeseries import Histogram, SummaryStat, TimeSeries
 
 __all__ = ["MetricsRegistry", "Sampler"]
 
@@ -25,6 +25,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._series: Dict[str, TimeSeries] = {}
         self._summaries: Dict[str, SummaryStat] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- counters --------------------------------------------------------------
 
@@ -78,6 +79,38 @@ class MetricsRegistry:
         """Record one sample into summary ``name``."""
         self.summary(name).add(value)
 
+    # -- histograms ---------------------------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        """The log-bucketed histogram ``name`` (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(name)
+            self._histograms[name] = hist
+        return hist
+
+    def observe_histogram(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        self.histogram(name).add(value)
+
+    def register_histogram(self, hist: Histogram) -> Histogram:
+        """Adopt an externally built histogram under its own name.
+
+        Used by the tracing layer, which owns its latency histograms but
+        registers them here so run reports see them alongside everything
+        else.  An existing histogram of the same name wins (the caller
+        should then record into the returned object).
+        """
+        return self._histograms.setdefault(hist.name, hist)
+
+    def histograms(self, prefix: str = "") -> Dict[str, Histogram]:
+        """All histograms whose names start with ``prefix``."""
+        return {
+            name: hist
+            for name, hist in self._histograms.items()
+            if name.startswith(prefix)
+        }
+
     # -- introspection ---------------------------------------------------------------
 
     def names(self) -> Iterator[Tuple[str, str]]:
@@ -88,6 +121,8 @@ class MetricsRegistry:
             yield ("series", name)
         for name in self._summaries:
             yield ("summary", name)
+        for name in self._histograms:
+            yield ("histogram", name)
 
 
 class Sampler:

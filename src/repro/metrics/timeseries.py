@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["TimeSeries", "SummaryStat"]
+__all__ = ["TimeSeries", "SummaryStat", "Histogram"]
 
 
 class TimeSeries:
@@ -126,13 +126,31 @@ class SummaryStat:
 
     def percentile(self, q: float) -> float:
         """Approximate ``q``-th percentile (q in [0, 100])."""
-        if not self._reservoir:
-            return 0.0
         if not (0.0 <= q <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return self.quantile(q / 100.0)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (q in [0, 1]), linearly interpolated.
+
+        Edge cases: an empty summary reports 0.0 (there is nothing to
+        estimate, and callers tabulate rather than branch); a single
+        sample is every quantile of itself.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         ordered = sorted(self._reservoir)
-        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[idx]
+        n = len(ordered)
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return ordered[0]
+        position = q * (n - 1)
+        lo = int(position)
+        if lo >= n - 1:
+            return ordered[-1]
+        frac = position - lo
+        return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
 
     def merge(self, other: "SummaryStat") -> None:
         """Fold another summary into this one (reservoirs concatenated)."""
@@ -143,3 +161,133 @@ class SummaryStat:
         room = self._reservoir_size - len(self._reservoir)
         if room > 0:
             self._reservoir.extend(other._reservoir[:room])
+
+
+class Histogram:
+    """Log-bucketed histogram for latency-style samples.
+
+    Buckets grow geometrically (``growth`` per bucket, ~4 buckets per
+    doubling at the default), so quantile estimates carry a bounded
+    *relative* error across nine decades while memory stays a small
+    sparse dict.  Unlike :class:`SummaryStat`'s sampled reservoir, every
+    sample lands in a bucket, so tail quantiles (p99.9) stay stable for
+    arbitrarily long runs.
+
+    Values at or below ``lo`` share the underflow bucket 0 (with the
+    default ``lo`` of 0.1 microseconds that is "instantaneous" for the
+    simulator's latencies).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_counts", "_lo", "_log_growth", "_growth")
+
+    def __init__(self, name: str = "", lo: float = 1e-7,
+                 growth: float = 2.0 ** 0.25) -> None:
+        if lo <= 0:
+            raise ValueError(f"lo must be positive, got {lo}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._counts: Dict[int, int] = {}
+        self._lo = lo
+        self._growth = growth
+        self._log_growth = math.log(growth)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self._lo:
+            idx = 0
+        else:
+            idx = 1 + int(math.log(value / self._lo) / self._log_growth)
+        self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def _bucket_bounds(self, idx: int) -> Tuple[float, float]:
+        """The value range bucket ``idx`` covers."""
+        if idx == 0:
+            return (0.0, self._lo)
+        return (self._lo * self._growth ** (idx - 1),
+                self._lo * self._growth ** idx)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (q in [0, 1]), interpolated within a bucket.
+
+        Clamped to the observed ``[min, max]`` so the bucket rounding can
+        never report a value outside the recorded sample range.  Empty
+        histograms report 0.0; a single sample is every quantile.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if self.count == 1:
+            return self.min
+        target = q * self.count
+        cumulative = 0
+        for idx in sorted(self._counts):
+            bucket = self._counts[idx]
+            if cumulative + bucket >= target:
+                lo, hi = self._bucket_bounds(idx)
+                frac = (target - cumulative) / bucket
+                value = lo + (hi - lo) * frac
+                return min(self.max, max(self.min, value))
+            cumulative += bucket
+        return self.max
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (p in [0, 100])."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (bucket-wise addition)."""
+        if (other._lo != self._lo) or (other._growth != self._growth):
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for idx, bucket in other._counts.items():
+            self._counts[idx] = self._counts.get(idx, 0) + bucket
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "lo": self._lo,
+            "growth": self._growth,
+            "buckets": {str(idx): n for idx, n in sorted(self._counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Rebuild a histogram snapshotted by :meth:`as_dict`."""
+        hist = cls(payload.get("name", ""), lo=payload["lo"],
+                   growth=payload["growth"])
+        hist.count = int(payload["count"])
+        hist.total = float(payload["total"])
+        if hist.count:
+            hist.min = float(payload["min"])
+            hist.max = float(payload["max"])
+        hist._counts = {int(idx): int(n)
+                        for idx, n in payload.get("buckets", {}).items()}
+        return hist

@@ -15,6 +15,7 @@ import random
 from typing import Optional, Union
 
 from ..endurance.wear import WearModel
+from ..obs import tracer as _obs
 from ..simkernel import Environment, Resource
 from .specs import HDDSpec, SSDSpec
 
@@ -83,6 +84,10 @@ class BlockDevice:
         """Read ``nblocks`` starting at ``offset_block``; yields until done."""
         if nblocks <= 0:
             return 0.0
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         with self.resource.request() as req:
             yield req
             start = self.env.now
@@ -91,12 +96,21 @@ class BlockDevice:
         self.stats.reads += 1
         self.stats.blocks_read += nblocks
         self.stats.bytes_read += nblocks * self.block_bytes
+        if tracer is not None:
+            # ``queued`` separates time spent waiting for a channel from
+            # the service time the span's duration otherwise implies.
+            tracer.span_end(f"dev.{self.name}.read", t0, self.env.now,
+                            blocks=nblocks, queued=start - t0)
         return self.env.now - start
 
     def write(self, offset_block: int, nblocks: int):
         """Write ``nblocks`` starting at ``offset_block``; yields until done."""
         if nblocks <= 0:
             return 0.0
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.span_begin()
+            t0 = self.env.now
         with self.resource.request() as req:
             yield req
             start = self.env.now
@@ -109,6 +123,9 @@ class BlockDevice:
         # device/wear reconciliation holds at every event boundary.
         if self.wear is not None:
             self.wear.record_write(nblocks)
+        if tracer is not None:
+            tracer.span_end(f"dev.{self.name}.write", t0, self.env.now,
+                            blocks=nblocks, queued=start - t0)
         return self.env.now - start
 
     def _service_read(self, offset_block: int, nblocks: int) -> float:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.metrics import (
+    Histogram,
     MetricsRegistry,
     Sampler,
     SummaryStat,
@@ -191,3 +192,152 @@ class TestReporting:
         assert lines[0] == "time,a"
         assert lines[1] == "0,1.00"
         assert lines[2] == "10,2.00"
+
+
+class TestSummaryQuantileEdges:
+    def test_empty_quantile_zero(self):
+        stat = SummaryStat("s")
+        assert stat.quantile(0.0) == 0.0
+        assert stat.quantile(0.5) == 0.0
+        assert stat.quantile(1.0) == 0.0
+
+    def test_single_sample_every_quantile(self):
+        stat = SummaryStat("s")
+        stat.add(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert stat.quantile(q) == 7.0
+
+    def test_two_samples_interpolate(self):
+        stat = SummaryStat("s")
+        stat.add(10.0)
+        stat.add(20.0)
+        assert stat.quantile(0.0) == 10.0
+        assert stat.quantile(0.5) == pytest.approx(15.0)
+        assert stat.quantile(1.0) == 20.0
+
+    def test_percentile_delegates(self):
+        stat = SummaryStat("s")
+        for v in range(1, 101):
+            stat.add(float(v))
+        assert stat.percentile(50) == stat.quantile(0.5)
+
+    def test_quantile_range_validated(self):
+        stat = SummaryStat("s")
+        with pytest.raises(ValueError):
+            stat.quantile(1.5)
+        with pytest.raises(ValueError):
+            stat.percentile(250)
+
+
+class TestHistogram:
+    def test_empty_and_single(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        hist.add(0.003)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.003
+
+    def test_quantiles_bounded_relative_error(self):
+        hist = Histogram("h")
+        values = [i / 1000.0 for i in range(1, 2001)]  # 1ms .. 2s
+        for v in values:
+            hist.add(v)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = values[int(q * (len(values) - 1))]
+            approx = hist.quantile(q)
+            # log buckets at 2^0.25 growth: <= ~19% relative error.
+            assert abs(approx - exact) / exact < 0.2
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram("h")
+        hist.add(1.0)
+        hist.add(1.0)
+        hist.add(1.0)
+        assert hist.quantile(0.0) >= 1.0
+        assert hist.quantile(1.0) <= 1.0
+
+    def test_underflow_bucket(self):
+        hist = Histogram("h", lo=1e-3)
+        hist.add(0.0)
+        hist.add(1e-4)
+        assert hist.count == 2
+        assert hist.quantile(1.0) <= 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", lo=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_merge(self):
+        a = Histogram("a")
+        b = Histogram("b")
+        for v in (0.001, 0.002, 0.004):
+            a.add(v)
+        for v in (0.008, 0.016):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.max == 0.016
+        assert a.total == pytest.approx(0.031)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram("a")
+        b = Histogram("b", lo=1e-6)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dict_round_trip(self):
+        hist = Histogram("h")
+        for v in (0.001, 0.05, 0.9, 14.0):
+            hist.add(v)
+        clone = Histogram.from_dict(hist.as_dict())
+        assert clone.count == hist.count
+        assert clone.total == pytest.approx(hist.total)
+        assert clone.min == hist.min
+        assert clone.max == hist.max
+        for q in (0.1, 0.5, 0.99):
+            assert clone.quantile(q) == hist.quantile(q)
+
+    def test_empty_dict_round_trip(self):
+        clone = Histogram.from_dict(Histogram("h").as_dict())
+        assert clone.count == 0
+        assert clone.quantile(0.5) == 0.0
+
+
+class TestRegistryHistograms:
+    def test_create_on_use_and_observe(self):
+        reg = MetricsRegistry()
+        reg.observe_histogram("lat", 0.5)
+        reg.observe_histogram("lat", 1.5)
+        assert reg.histogram("lat").count == 2
+
+    def test_register_external_histogram(self):
+        reg = MetricsRegistry()
+        hist = Histogram("obs.lat.get")
+        hist.add(0.25)
+        assert reg.register_histogram(hist) is hist
+        assert reg.histogram("obs.lat.get") is hist
+        # An existing name wins; the caller merges if it cares.
+        other = Histogram("obs.lat.get")
+        assert reg.register_histogram(other) is hist
+
+    def test_histograms_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.observe_histogram("obs.lat.get", 1.0)
+        reg.observe_histogram("obs.lat.put", 2.0)
+        reg.observe_histogram("dev.read", 3.0)
+        assert set(reg.histograms("obs.lat.")) == {"obs.lat.get", "obs.lat.put"}
+        assert set(reg.histograms()) == {"obs.lat.get", "obs.lat.put", "dev.read"}
+
+    def test_names_include_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe_histogram("h", 1.0)
+        assert ("histogram", "h") in list(reg.names())
