@@ -7,7 +7,6 @@ sweep the batch size and report (a) eviction rounds (overhead proxy) and
 (b) worst-case undershoot below entitlement right after an eviction.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.core import CachePolicy, DDConfig, DoubleDeckerCache, StoreKind

@@ -8,7 +8,6 @@ logical blocks in the same physical memory and convert that into a
 higher second-chance hit ratio.
 """
 
-import pytest
 from conftest import BENCH_SEED, run_once
 
 from repro import CachePolicy, DDConfig, SimContext

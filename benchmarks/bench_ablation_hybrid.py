@@ -11,7 +11,6 @@ Both SSD-assisted modes must beat memory-only on second-chance coverage;
 hybrid/trickle throughput sits between pure-memory-fits and pure-SSD.
 """
 
-import pytest
 from conftest import BENCH_SEED, run_once
 
 from repro import CachePolicy, DDConfig, SimContext

@@ -8,7 +8,6 @@ exclusive cache must cover more unique blocks (page cache + cache are
 disjoint) and thus serve more second-chance hits.
 """
 
-import pytest
 from conftest import BENCH_SEED, run_once
 
 from repro import SimContext

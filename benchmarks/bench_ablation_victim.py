@@ -7,7 +7,6 @@ resulting shares deviate from the weighted entitlements.  Algorithm 1
 should track the weights strictly better than "evict the largest pool".
 """
 
-import pytest
 from conftest import run_once
 
 from repro.core import CachePolicy, DDConfig, DoubleDeckerCache, StoreKind

@@ -5,7 +5,6 @@ weights; this bench shows the shipped AdaptiveWeightController beating a
 static 50/50 split when one container has reuse and the other streams.
 """
 
-import pytest
 from conftest import BENCH_SEED, run_once
 
 from repro import CachePolicy, DDConfig, SimContext, StoreKind

@@ -56,4 +56,5 @@ __all__ = [
     "StoreKind",
     "VirtualMachine",
     "__version__",
+    "analysis",
 ]

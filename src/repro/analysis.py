@@ -10,7 +10,7 @@ available programmatically).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping
 
 from .metrics import TimeSeries, format_table
 

@@ -13,7 +13,7 @@ implementation the host runs.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set
+from typing import Optional, Sequence
 
 from ..core.config import CachePolicy
 from ..core.interface import HypervisorCacheBase

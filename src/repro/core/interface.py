@@ -14,7 +14,7 @@ is charged by the guest-side channel.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence
 
 from .config import CachePolicy, StoreKind
 from .pools import BlockKey

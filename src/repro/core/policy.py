@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Tuple
 
 from .config import StoreKind
-from .pools import Pool, VMEntry
+from .pools import VMEntry
 
 __all__ = ["recompute_entitlements", "vm_shares"]
 

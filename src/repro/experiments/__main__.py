@@ -67,9 +67,9 @@ def _run_one(
         tracer = Tracer(max_events=trace_ops, sample=trace_sample)
         set_tracer(tracer)
     try:
-        started = time.time()
+        started = time.time()  # dd-lint: disable=DD001 (host-side wall clock for the CLI's elapsed-time report, never feeds simulated state)
         result = cls(scale=scale, seed=seed).run()
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # dd-lint: disable=DD001 (host-side wall clock for the CLI's elapsed-time report, never feeds simulated state)
     finally:
         set_audit_interval(0.0)
         set_default_admission(None)

@@ -13,10 +13,10 @@ throughput / latency / lookup-hit ratio / eviction counts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..context import SimContext
-from ..core import CachePolicy, DDConfig, StoreKind
+from ..core import CachePolicy, DDConfig
 from ..hypervisor import HostSpec
 from ..workloads import (
     VarmailWorkload,

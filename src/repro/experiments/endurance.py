@@ -61,7 +61,7 @@ class EnduranceExperiment(CachingModesExperiment):
             policy = CachePolicy.hybrid(25.0, 25.0)
         else:
             raise ValueError(f"unknown scenario {scenario!r}")
-        cache = host.install_doubledecker(config)
+        host.install_doubledecker(config)
 
         vm = host.create_vm("vm1", memory_mb=self.mb(8192), vcpus=8)
         workloads = []

@@ -9,7 +9,7 @@ flip who owns the cache over time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..context import SimContext
 from ..hypervisor import HostSpec

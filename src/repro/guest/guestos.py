@@ -220,9 +220,8 @@ class GuestOS:
             and cgroup.pool_id is not None
             and file.hv_pool_id != cgroup.pool_id
         ):
-            moved = self.cleancache.migrate(file.hv_pool_id, cgroup.pool_id, file.inode)
+            self.cleancache.migrate(file.hv_pool_id, cgroup.pool_id, file.inode)
             file.hv_pool_id = cgroup.pool_id
-            del moved
 
         self.stats.cc_gets += len(misses)
         found = yield from self.cleancache.get_many(cgroup.pool_id, misses)

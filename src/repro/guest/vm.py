@@ -9,7 +9,7 @@ exercised from inside the VM, enforced by the hypervisor cache.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..cgroups import Cgroup
 from ..cleancache import CleancacheClient
@@ -18,7 +18,7 @@ from ..core.stats import PoolStats
 from ..simkernel import Environment
 from ..storage import MB
 from .filesystem import File
-from .guestos import GuestOS, IOResult
+from .guestos import GuestOS
 
 __all__ = ["VirtualMachine", "Container"]
 

@@ -10,10 +10,9 @@ the spindle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core import (
-    CachePolicy,
     DDConfig,
     DoubleDeckerCache,
     GlobalCache,

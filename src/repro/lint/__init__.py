@@ -1,0 +1,57 @@
+"""``repro.lint`` — the determinism & invariant static-analysis suite.
+
+Every guarantee this reproduction makes (byte-identical ``--jobs``
+fan-out, fixed-seed fingerprints, exact ledger replay in ``repro.obs``,
+the shadow-accounting auditor) depends on code discipline that nothing
+enforced mechanically until this suite: no wall-clock reads in simulated
+paths, no unseeded module-global randomness, no unordered iteration
+feeding Algorithm 1 victim selection, no float drift in integer
+accounting counters.  ``sim-lint`` defends those properties the way the
+auditor defends accounting: with tooling, not reviewer vigilance.
+
+Three entry points:
+
+* ``python -m repro.lint [paths] [--strict]`` — the AST pass (rules
+  DD001..DD008 plus the TC001 typed-core gate); see :mod:`repro.lint.rules`.
+* ``python -m repro.lint.sanitize`` — the *runtime* nondeterminism
+  sanitizer: asserts ``PYTHONHASHSEED`` discipline, wraps hot
+  decision-path entry points so unordered containers are rejected at the
+  call boundary, and double-runs a smoke scenario comparing fingerprints
+  byte-for-byte.
+* :func:`repro.lint.typed.run_mypy` — shells out to the scoped strict
+  ``mypy`` gate when mypy is installed (CI), and reports "skipped"
+  rather than failing when it is not (hermetic containers).
+
+Suppressions are inline and must be justified::
+
+    started = time.time()  # dd-lint: disable=DD001 (host-side wall clock, not simulated time)
+
+See ``docs/LINTING.md`` for the rule catalog and how to add a rule.
+"""
+
+from .engine import (
+    Finding,
+    LintContext,
+    Rule,
+    SuppressionTable,
+    format_findings_json,
+    format_findings_text,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from .rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "SuppressionTable",
+    "format_findings_json",
+    "format_findings_text",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "rule_catalog",
+]

@@ -1,0 +1,110 @@
+"""Command-line driver for sim-lint.
+
+Usage::
+
+    python -m repro.lint                      # lint src/ and tests/
+    python -m repro.lint src tests --strict   # the CI gate
+    python -m repro.lint --list-rules
+    python -m repro.lint src --rule DD001 --rule DD003 --format json
+    python -m repro.lint --mypy               # also run the scoped mypy gate
+
+Exit status: 0 clean; 1 findings (errors always; warnings too under
+``--strict``); 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import (
+    exit_code,
+    format_findings_json,
+    format_findings_text,
+    lint_paths,
+)
+from .rules import ALL_RULES, rule_catalog
+from .typed import run_mypy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="sim-lint: determinism & invariant static analysis "
+                    "for the DoubleDecker reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="DDnnn",
+        help="only run the given rule id (repeatable)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings and unjustified suppressions too")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--mypy", action="store_true",
+        help="also run the scoped mypy gate (skips cleanly if mypy "
+             "is not installed)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['id']}  [{entry['severity']:7s}] {entry['title']}")
+            print(f"       {entry['rationale']}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rule:
+        wanted = set(args.rule)
+        # DD000 (pragma defects) is a pseudo-rule emitted by the engine.
+        known = {rule.rule_id for rule in rules} | {"DD000"}
+        unknown = sorted(wanted - known)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)} "
+                         f"(see --list-rules)")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    raw_paths = args.paths or ["src", "tests"]
+    paths: List[Path] = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such path: {raw}")
+        paths.append(path)
+
+    findings = lint_paths(paths, rules)
+    if args.rule and "DD000" not in set(args.rule):
+        # --rule narrows the report to the requested ids; pragma-defect
+        # findings (DD000) ride along only when asked for explicitly.
+        findings = [f for f in findings if f.rule_id != "DD000"]
+    status = exit_code(findings, strict=args.strict)
+
+    if args.format == "json":
+        print(format_findings_json(findings, strict=args.strict))
+    else:
+        print(format_findings_text(findings))
+
+    if args.mypy:
+        mypy_status, mypy_output = run_mypy()
+        print(mypy_output.rstrip() or "(mypy produced no output)")
+        status = status or (1 if mypy_status else 0)
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

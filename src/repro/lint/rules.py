@@ -1,0 +1,658 @@
+"""sim-lint rule catalog: DD001..DD008.
+
+Each rule defends one determinism or invariant property the reproduction
+relies on (see docs/LINTING.md for the full catalog with examples):
+
+* DD001 — wall-clock reads in simulated paths;
+* DD002 — unseeded module-global ``random`` use;
+* DD003 — unordered iteration feeding eviction/victim/migration decisions;
+* DD004 — float accumulation into integer accounting counters;
+* DD005 — mutable default arguments;
+* DD006 — tracer calls missing the ``if tracer is not None`` zero-cost guard;
+* DD007 — bare/swallowed exception handlers;
+* DD008 — stats-counter writes that bypass the put-outcome ledger.
+
+The TC001 typed-core gate (annotation completeness over
+``repro.core.victim`` / ``repro.core.radix``) is registered alongside
+these; it lives in :mod:`repro.lint.typed`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import Finding, LintContext, Rule
+
+__all__ = ["ALL_RULES", "rule_catalog", "DECISION_NAME_RE"]
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+def _parents(tree: ast.AST) -> Dict[int, ast.AST]:
+    """Map ``id(child) -> parent`` for every node in ``tree``."""
+    table: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            table[id(child)] = node
+    return table
+
+
+def _ancestors(node: ast.AST, parents: Dict[int, ast.AST]) -> Iterator[ast.AST]:
+    current: Optional[ast.AST] = parents.get(id(node))
+    while current is not None:
+        yield current
+        current = parents.get(id(current))
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _import_aliases(tree: ast.AST, module: str) -> Tuple[Set[str], Dict[str, str]]:
+    """Names bound to ``module`` itself, and ``local -> original`` for
+    names imported *from* it."""
+    module_aliases: Set[str] = set()
+    member_aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    module_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                member_aliases[alias.asname or alias.name] = alias.name
+    return module_aliases, member_aliases
+
+
+# -- DD001 -------------------------------------------------------------------
+
+_WALL_CLOCK_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime", "ctime",
+}
+_WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today", "utcfromtimestamp"}
+
+
+class WallClockRule(Rule):
+    rule_id = "DD001"
+    title = "wall-clock read in simulated code"
+    rationale = (
+        "Simulated paths must read time from Environment.now only; a "
+        "host wall-clock read perturbs fixed-seed fingerprints and "
+        "breaks byte-identical --jobs fan-out."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        time_mods, time_members = _import_aliases(ctx.tree, "time")
+        dt_mods, dt_members = _import_aliases(ctx.tree, "datetime")
+        dt_classes = {local for local, orig in dt_members.items()
+                      if orig in ("datetime", "date")}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                origin = time_members.get(func.id)
+                if origin in _WALL_CLOCK_TIME_FNS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to time.{origin}() — simulated code must use "
+                        f"Environment.now, never the host wall clock")
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            recv = _dotted(func.value)
+            if recv in time_mods and func.attr in _WALL_CLOCK_TIME_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"call to {recv}.{func.attr}() — simulated code must use "
+                    f"Environment.now, never the host wall clock")
+            elif func.attr in _WALL_CLOCK_DATETIME_FNS:
+                base = recv.split(".", 1)[0] if recv else None
+                if recv in dt_classes or (base in dt_mods) or (
+                        recv is not None and "." in recv
+                        and recv.split(".")[-1] in ("datetime", "date")
+                        and base in dt_mods | dt_classes):
+                    yield self.finding(
+                        ctx, node,
+                        f"call to {recv}.{func.attr}() — wall-clock datetime "
+                        f"reads are nondeterministic in simulated paths")
+
+
+# -- DD002 -------------------------------------------------------------------
+
+class UnseededRandomRule(Rule):
+    rule_id = "DD002"
+    title = "module-global random use"
+    rationale = (
+        "The module-global random generator is shared, unseeded process "
+        "state; use an explicitly seeded random.Random(seed) (or "
+        "repro.simkernel.rng) so every stream is reproducible."
+    )
+
+    #: The only member of the random module that is fine to name: an
+    #: explicitly seeded generator instance.
+    _ALLOWED = {"Random"}
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        mods, members = _import_aliases(ctx.tree, "random")
+        if not mods and not members:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                recv = _dotted(func.value)
+                if recv in mods and func.attr not in self._ALLOWED:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to {recv}.{func.attr}() uses the module-global "
+                        f"generator — construct random.Random(seed) instead")
+            elif isinstance(func, ast.Name):
+                origin = members.get(func.id)
+                if origin is not None and origin not in self._ALLOWED:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to random.{origin}() (imported bare) uses the "
+                        f"module-global generator — construct "
+                        f"random.Random(seed) instead")
+
+
+# -- DD003 -------------------------------------------------------------------
+
+#: Function/class names considered part of the decision path: anything
+#: that picks victims, enumerates eviction candidates, migrates blocks,
+#: rebalances entitlements, or admits writes.
+DECISION_NAME_RE = re.compile(
+    r"evict|victim|migrat|candidat|select|admit|balanc|reclaim|trickle"
+    r"|shrink|make_room|entitle",
+    re.IGNORECASE,
+)
+
+_SET_CALLS = {"set", "frozenset"}
+
+
+class UnorderedDecisionIterationRule(Rule):
+    rule_id = "DD003"
+    title = "unordered iteration in a decision path"
+    rationale = (
+        "Iterating a set (hash order) where the elements flow into "
+        "eviction/victim/migration decisions makes the victim depend on "
+        "PYTHONHASHSEED; wrap the iterable in sorted() or justify "
+        "insertion order with a suppression."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        parents = _parents(ctx.tree)
+        set_attrs = self._set_valued_attrs(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            else:
+                continue
+            if not self._in_decision_context(node, parents):
+                continue
+            local_sets = self._set_valued_locals(node, parents)
+            for expr in iters:
+                for finding in self._check_iter(ctx, expr, local_sets, set_attrs):
+                    yield finding
+
+    def _in_decision_context(self, node: ast.AST,
+                             parents: Dict[int, ast.AST]) -> bool:
+        for ancestor in _ancestors(node, parents):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                if DECISION_NAME_RE.search(ancestor.name):
+                    return True
+        return False
+
+    @staticmethod
+    def _enclosing_function(node: ast.AST, parents: Dict[int, ast.AST]
+                            ) -> Optional[ast.AST]:
+        for ancestor in _ancestors(node, parents):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def _set_valued_locals(self, node: ast.AST,
+                           parents: Dict[int, ast.AST]) -> Set[str]:
+        """Local names assigned a set in the enclosing function."""
+        func = self._enclosing_function(node, parents)
+        if func is None:
+            return set()
+        names: Set[str] = set()
+        for stmt in ast.walk(func):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_set_expr(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _set_valued_attrs(tree: ast.AST) -> Set[str]:
+        """``self.X`` attribute names assigned a set anywhere in the file."""
+        attrs: Set[str] = set()
+        for stmt in ast.walk(tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not UnorderedDecisionIterationRule._is_set_expr(value):
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+        return attrs
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in _SET_CALLS
+        return False
+
+    def _check_iter(self, ctx: LintContext, expr: ast.expr,
+                    local_sets: Set[str], set_attrs: Set[str]
+                    ) -> Iterator[Finding]:
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id == "sorted":
+            return  # explicitly ordered — the sanctioned fix
+        if self._is_set_expr(expr):
+            yield self.finding(
+                ctx, expr,
+                "iteration over a set inside a decision-path function — "
+                "hash order leaks into victim selection; wrap in sorted()")
+        elif isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute) \
+                and expr.func.attr == "keys" and not expr.args:
+            yield self.finding(
+                ctx, expr,
+                "iteration over dict.keys() inside a decision-path function — "
+                "insertion order is deterministic but order-sensitivity must "
+                "be explicit; wrap in sorted() or justify with a suppression",
+                severity="warning")
+        elif isinstance(expr, ast.Name) and expr.id in local_sets:
+            yield self.finding(
+                ctx, expr,
+                f"iteration over local set {expr.id!r} inside a decision-path "
+                f"function — hash order leaks into victim selection; wrap in "
+                f"sorted()")
+        elif (isinstance(expr, ast.Attribute)
+              and isinstance(expr.value, ast.Name)
+              and expr.value.id == "self" and expr.attr in set_attrs):
+            yield self.finding(
+                ctx, expr,
+                f"iteration over set-valued attribute self.{expr.attr} inside "
+                f"a decision-path function — hash order leaks into victim "
+                f"selection; wrap in sorted()")
+
+
+# -- DD004 -------------------------------------------------------------------
+
+_COUNTER_EXACT = {
+    "used", "_size", "count", "used_blocks", "mem_used_blocks",
+    "ssd_used_blocks", "capacity_blocks", "gets", "get_hits", "puts",
+    "puts_stored", "flushes", "flush_requests", "evictions",
+    "eviction_rounds", "migrated_in", "migrated_out", "ssd_writes",
+    "bytes_read", "bytes_written", "blocks_written", "host_bytes_written",
+    "pe_cycles", "erases", "logical_blocks", "_mem_units_used",
+}
+_COUNTER_PREFIXES = ("put_rejected_", "rejected_", "trickle_rejected")
+
+
+def _is_counter_name(name: str) -> bool:
+    return name in _COUNTER_EXACT or name.startswith(_COUNTER_PREFIXES)
+
+
+class FloatDriftRule(Rule):
+    rule_id = "DD004"
+    title = "float accumulation into an integer accounting counter"
+    rationale = (
+        "Accounting counters (used, _size, wear/ledger fields) are exact "
+        "integers the auditor replays; accumulating a float drifts and "
+        "breaks exact ledger replay. Round explicitly with int()/round() "
+        "or use integer arithmetic (//)."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            target = node.target
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            else:
+                continue
+            if not _is_counter_name(name):
+                continue
+            if self._is_floaty(node.value):
+                yield self.finding(
+                    ctx, node,
+                    f"float-valued accumulation into integer counter "
+                    f"{name!r} — drift breaks exact ledger replay; round "
+                    f"explicitly (int()/round()) or use // integer division")
+
+    @staticmethod
+    def _is_floaty(expr: ast.expr) -> bool:
+        # An explicit int()/round() wrapper at the top level sanctions
+        # whatever floating-point math happens inside it.
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id in ("int", "round", "len"):
+            return False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                return True
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                    and node.func.id == "float":
+                return True
+        return False
+
+
+# -- DD005 -------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque",
+                  "Counter", "OrderedDict"}
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "DD005"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is shared across calls — state leaks between "
+        "simulations and between --jobs workers' warm-up phases. Default "
+        "to None and construct inside the function."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {node.name}() — shared "
+                        f"across calls; use None and construct inside")
+
+    @staticmethod
+    def _is_mutable(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in _MUTABLE_CALLS
+        return False
+
+
+# -- DD006 -------------------------------------------------------------------
+
+class UnguardedTracerRule(Rule):
+    rule_id = "DD006"
+    title = "tracer call without the zero-cost guard"
+    rationale = (
+        "The observability contract is zero cost when tracing is off: "
+        "every tracer call in simulator code must sit under an "
+        "'if tracer is not None' guard (or equivalent early exit), both "
+        "for speed and so untraced runs stay byte-identical."
+    )
+
+    #: Receiver spellings that denote the flight recorder.
+    _RECV_RE = re.compile(r"(^|\.)_?tracer$")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        tail = ctx.module_tail()
+        # repro.obs analysis/export code receives a non-None tracer by
+        # contract; the guard idiom applies to simulator call sites.
+        if tail.startswith(("obs/", "lint/")):
+            return
+        parents = _parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            recv = _dotted(node.func.value)
+            if recv is None or not self._RECV_RE.search(recv):
+                continue
+            if not self._is_guarded(node, recv, parents):
+                yield self.finding(
+                    ctx, node,
+                    f"call to {recv}.{node.func.attr}() outside an "
+                    f"'if {recv} is not None' guard — tracing must be "
+                    f"zero-cost when disabled")
+
+    def _is_guarded(self, call: ast.Call, recv: str,
+                    parents: Dict[int, ast.AST]) -> bool:
+        node: ast.AST = call
+        for ancestor in _ancestors(call, parents):
+            if isinstance(ancestor, ast.If):
+                if self._guards(ancestor.test, recv) \
+                        and self._within(ancestor.body, node):
+                    return True
+            elif isinstance(ancestor, ast.IfExp):
+                if self._guards(ancestor.test, recv) and ancestor.body is node:
+                    return True
+            elif isinstance(ancestor, ast.BoolOp) and isinstance(ancestor.op, ast.And):
+                idx = next((i for i, v in enumerate(ancestor.values)
+                            if v is node), None)
+                if idx is not None and any(
+                        self._guards(v, recv) for v in ancestor.values[:idx]):
+                    return True
+            elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._early_exit_guard(ancestor, recv, call):
+                    return True
+                return False
+            node = ancestor
+        return False
+
+    def _guards(self, test: ast.expr, recv: str) -> bool:
+        """Does ``test`` establish ``recv is not None``?"""
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            return any(self._guards(v, recv) for v in test.values)
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+                and isinstance(test.ops[0], ast.IsNot) \
+                and isinstance(test.comparators[0], ast.Constant) \
+                and test.comparators[0].value is None:
+            return _dotted(test.left) == recv
+        return False
+
+    @staticmethod
+    def _within(body: Sequence[ast.stmt], node: ast.AST) -> bool:
+        return any(n is node or any(sub is node for sub in ast.walk(n))
+                   for n in body)
+
+    @staticmethod
+    def _early_exit_guard(func: ast.AST, recv: str, call: ast.Call) -> bool:
+        """``if recv is None: return/continue/raise`` before the call."""
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.If):
+                continue
+            test = stmt.test
+            if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.Is)
+                    and isinstance(test.comparators[0], ast.Constant)
+                    and test.comparators[0].value is None
+                    and _dotted(test.left) == recv):
+                continue
+            if stmt.body and isinstance(stmt.body[-1],
+                                        (ast.Return, ast.Continue, ast.Raise)):
+                if stmt.lineno < call.lineno:
+                    return True
+        return False
+
+
+# -- DD007 -------------------------------------------------------------------
+
+class SwallowedErrorRule(Rule):
+    rule_id = "DD007"
+    title = "bare except / swallowed error"
+    rationale = (
+        "The kernel run loop surfaces unhandled event failures by design "
+        "(PR 1); a bare or swallowed except hides exactly the failures "
+        "the auditor and obs validators exist to catch."
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' — catches SystemExit/KeyboardInterrupt "
+                    "and hides kernel failures; name the exception")
+                continue
+            if self._is_broad(node.type) and self._only_pass(node.body):
+                yield self.finding(
+                    ctx, node,
+                    "broad exception swallowed with 'pass' — failures the "
+                    "run loop deliberately surfaces are silently dropped")
+
+    def _is_broad(self, type_node: ast.expr) -> bool:
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self._BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        return False
+
+    @staticmethod
+    def _only_pass(body: Sequence[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis)
+            for stmt in body
+        )
+
+
+# -- DD008 -------------------------------------------------------------------
+
+#: Put-outcome ledger fields (PR 3): ``puts == puts_stored + put_rejected_*``.
+LEDGER_FIELDS = {
+    "puts", "puts_stored", "put_rejected_policy", "put_rejected_capacity",
+    "put_rejected_admission", "put_rejected_backpressure",
+    "trickle_rejected_admission", "rejected_puts", "rejected_admission",
+    "rejected_backpressure",
+}
+
+#: Modules allowed to write ledger fields: the cache implementations that
+#: own the ledger, its dataclass definition, and the auditor/tracer that
+#: reconcile it.
+LEDGER_WRITER_MODULES = {
+    "core/cache_manager.py",
+    "core/baselines.py",
+    "core/stats.py",
+    "core/audit.py",
+    "obs/tracer.py",
+}
+
+
+class LedgerBypassRule(Rule):
+    rule_id = "DD008"
+    title = "stats-counter write bypassing the put-outcome ledger"
+    rationale = (
+        "Every put must land in puts_stored or exactly one rejection "
+        "bucket; a write to a ledger field outside the owning modules "
+        "breaks the 'puts == stored + rejected_*' identity the auditor "
+        "and the obs ledger replay both assert."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        if ctx.module_tail() in LEDGER_WRITER_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr in LEDGER_FIELDS:
+                    yield self.finding(
+                        ctx, node,
+                        f"write to ledger field {target.attr!r} outside the "
+                        f"owning modules ({', '.join(sorted(LEDGER_WRITER_MODULES))}) "
+                        f"— route the outcome through put_many so "
+                        f"'puts == stored + rejected_*' stays exact")
+
+
+# -- registry ----------------------------------------------------------------
+
+def _build_rules() -> List[Rule]:
+    from .typed import TypedCoreRule
+
+    return [
+        WallClockRule(),
+        UnseededRandomRule(),
+        UnorderedDecisionIterationRule(),
+        FloatDriftRule(),
+        MutableDefaultRule(),
+        UnguardedTracerRule(),
+        SwallowedErrorRule(),
+        LedgerBypassRule(),
+        TypedCoreRule(),
+    ]
+
+
+ALL_RULES: List[Rule] = _build_rules()
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Machine-readable rule listing for ``--list-rules``."""
+    return [
+        {
+            "id": rule.rule_id,
+            "severity": rule.severity,
+            "title": rule.title,
+            "rationale": rule.rationale,
+        }
+        for rule in ALL_RULES
+    ]

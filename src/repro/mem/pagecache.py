@@ -19,7 +19,7 @@ Design notes
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .page import BlockKey, PageEntry, SeqCounter
 

@@ -7,7 +7,7 @@ hierarchical dotted names (``"hvcache.pool.web.used_mb"``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Tuple
 
 from .timeseries import Histogram, SummaryStat, TimeSeries
 

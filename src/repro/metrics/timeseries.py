@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["TimeSeries", "SummaryStat", "Histogram"]
 

@@ -19,8 +19,8 @@ needs.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Hashable, List, Optional, Tuple
+import zlib
+from typing import Dict, Hashable, List, Optional
 
 __all__ = ["MissRatioCurve", "ReuseDistanceTracker", "ShardsEstimator"]
 
@@ -179,9 +179,31 @@ class ShardsEstimator:
         self.sampled_accesses = 0
 
     @staticmethod
+    def _seed_independent(key: Hashable) -> bool:
+        """True when ``hash(key)`` cannot depend on PYTHONHASHSEED:
+        ints (and tuples of such, like BlockKey) hash structurally;
+        str/bytes — and anything containing them — are randomized per
+        process, which would make the *sample set* (and therefore the
+        MRC the adaptive controller acts on) differ across runs and
+        ``--jobs`` workers."""
+        if isinstance(key, (int, bool)):
+            return True
+        if isinstance(key, tuple):
+            return all(ShardsEstimator._seed_independent(item) for item in key)
+        return False
+
+    @staticmethod
     def _hash(key: Hashable) -> int:
-        # Fibonacci hashing of Python's hash: cheap, well-spread.
-        return (hash(key) * 2654435761) % (1 << 32)
+        # Fibonacci hashing of a seed-independent basis: cheap,
+        # well-spread, and stable across processes.  Int/int-tuple keys
+        # keep Python's structural hash (the historical behaviour, so
+        # fixed-seed fingerprints are unchanged); hash-randomized types
+        # fall back to a CRC of their canonical repr.
+        if ShardsEstimator._seed_independent(key):
+            basis = hash(key)
+        else:
+            basis = zlib.crc32(repr(key).encode("utf-8"))
+        return (basis * 2654435761) % (1 << 32)
 
     def access(self, key: Hashable) -> None:
         """Record one access (sampled internally)."""

@@ -10,7 +10,7 @@ working set).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Hashable, List, Optional, Tuple
+from typing import Deque, Hashable, Optional
 
 __all__ = ["WSSEstimator"]
 

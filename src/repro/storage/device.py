@@ -12,7 +12,7 @@ callers never deal with bytes.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Optional
 
 from ..endurance.wear import WearModel
 from ..obs import tracer as _obs

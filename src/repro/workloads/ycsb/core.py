@@ -8,7 +8,6 @@ mmap'd files) is supplied by the application models in
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ...simkernel import zipf_ranks
 from ..base import Workload

@@ -1,0 +1,17 @@
+"""TC001 fixture: a typed-core module with incomplete annotations.
+
+The path (``.../repro/core/victim.py``) places this file in the
+typed-core set, so the missing annotations below must fire TC001.
+"""
+
+
+def exceed_value(entity, eviction_size: int):  # finding: entity + return
+    return entity.used + eviction_size
+
+
+class Picker:
+    def pick(self, entities):  # finding: entities + return (self exempt)
+        return entities[0]
+
+    def annotated(self, entities: list) -> object:  # clean
+        return entities[0]

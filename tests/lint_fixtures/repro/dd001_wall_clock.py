@@ -1,0 +1,12 @@
+"""DD001 fixture: wall-clock reads in simulated code (4 findings)."""
+
+import time
+import datetime
+from time import perf_counter
+
+
+def sample_latency() -> float:
+    started = time.time()            # finding: time.time()
+    _ = perf_counter()               # finding: bare-imported perf_counter()
+    _ = datetime.datetime.now()      # finding: datetime.now()
+    return time.monotonic() - started  # finding: time.monotonic()

@@ -1,0 +1,12 @@
+"""DD002 fixture: module-global random use (3 findings, 1 clean)."""
+
+import random
+from random import randint
+
+
+def jitter() -> float:
+    random.seed(0)            # finding: even seeding the global generator
+    value = random.random()   # finding: module-global stream
+    value += randint(0, 3)    # finding: bare-imported module-global fn
+    rng = random.Random(42)   # clean: explicitly seeded instance
+    return value + rng.random()

@@ -1,0 +1,37 @@
+"""DD003 fixture: unordered iteration in decision paths (4 errors, 1 warning)."""
+
+from typing import Dict, List, Set
+
+
+class EvictionPlanner:
+    def __init__(self) -> None:
+        self.candidates: Set[int] = set()
+        self.pools: Dict[int, str] = {}
+
+    def select_victim(self, resident: List[int]) -> int:
+        best = -1
+        for vm in set(resident):          # finding: set() call iterated
+            best = max(best, vm)
+        for vm in self.candidates:        # finding: set-valued attribute
+            best = max(best, vm)
+        for pool in self.pools.keys():    # warning: dict.keys() in decision path
+            best = max(best, pool)
+        return best
+
+    def migrate_candidates(self) -> List[int]:
+        stranded = {1, 2, 3}
+        return [vm for vm in stranded]    # finding: local set iterated
+
+    def admit_batch(self) -> List[int]:
+        return sorted(self.candidates)    # clean: sorted() sanctions the set
+
+    def evict_round(self) -> List[int]:
+        return [x for x in {"a", "b"}]    # finding: set literal iterated
+
+
+def unrelated_bookkeeping(items: Set[int]) -> int:
+    # Clean: not a decision-path function, set iteration is fine here.
+    total = 0
+    for item in items:
+        total += item
+    return total

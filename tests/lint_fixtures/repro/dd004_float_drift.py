@@ -1,0 +1,17 @@
+"""DD004 fixture: float accumulation into integer counters (3 findings)."""
+
+
+class PoolAccounting:
+    def __init__(self) -> None:
+        self.used = 0
+        self._size = 0
+        self.bytes_written = 0
+        self.hit_ratio = 0.0
+
+    def charge(self, blocks: int, compression: float) -> None:
+        self.used += blocks / 2            # finding: true division drifts
+        self._size += blocks * 0.5         # finding: float literal
+        self.bytes_written += float(blocks)  # finding: explicit float()
+        self.used += blocks // 2           # clean: integer division
+        self._size += int(blocks * compression)  # clean: explicit int()
+        self.hit_ratio += 0.1              # clean: not an integer counter

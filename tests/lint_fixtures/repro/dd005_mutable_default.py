@@ -1,0 +1,18 @@
+"""DD005 fixture: mutable default arguments (3 findings)."""
+
+from typing import Dict, List, Optional
+
+
+def enqueue(item: int, queue: List[int] = []) -> List[int]:  # finding
+    queue.append(item)
+    return queue
+
+
+def tally(counts: Dict[str, int] = {}, *, seen: set = set()) -> int:  # 2 findings
+    return len(counts) + len(seen)
+
+
+def safe(item: int, queue: Optional[List[int]] = None) -> List[int]:  # clean
+    queue = [] if queue is None else queue
+    queue.append(item)
+    return queue

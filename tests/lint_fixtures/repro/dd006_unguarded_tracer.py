@@ -1,0 +1,38 @@
+"""DD006 fixture: tracer calls missing the zero-cost guard (2 findings)."""
+
+from typing import Any, Optional
+
+
+def get_tracer() -> Optional[Any]:
+    return None
+
+
+class CacheOps:
+    def __init__(self) -> None:
+        self._tracer: Optional[Any] = None
+
+    def put_unguarded(self, key: int) -> None:
+        tracer = get_tracer()
+        tracer.instant("put.outcome", key=key)       # finding: no guard
+
+    def put_attr_unguarded(self, key: int) -> None:
+        self._tracer.span_begin()                    # finding: no guard
+
+    def put_guarded(self, key: int) -> None:
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.instant("put.outcome", key=key)   # clean: guarded
+
+    def put_ifexp(self, key: int) -> None:
+        tracer = get_tracer()
+        _ = tracer.note(key) if tracer is not None else None  # clean
+
+    def put_early_exit(self, key: int) -> None:
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        tracer.instant("put.outcome", key=key)       # clean: early exit
+
+    def put_and_guard(self, key: int) -> None:
+        tracer = get_tracer()
+        _ = tracer is not None and tracer.note(key)  # clean: boolop guard

@@ -1,0 +1,41 @@
+"""DD007 fixture: bare/swallowed exception handlers (3 findings)."""
+
+
+def run_loop(events: list) -> int:
+    processed = 0
+    for event in events:
+        try:
+            event()
+            processed += 1
+        except:                    # finding: bare except
+            pass
+    return processed
+
+
+def drain(queue: list) -> None:
+    try:
+        queue.pop()
+    except Exception:              # finding: broad + swallowed
+        pass
+
+
+def drain_ellipsis(queue: list) -> None:
+    try:
+        queue.pop()
+    except (Exception, ValueError):  # finding: broad tuple + swallowed
+        ...
+
+
+def ok_narrow(queue: list) -> None:
+    try:
+        queue.pop()
+    except IndexError:             # clean: narrow swallow is a choice
+        pass
+
+
+def ok_handled(queue: list) -> str:
+    try:
+        queue.pop()
+    except Exception as exc:       # clean: broad but surfaced
+        return f"failed: {exc}"
+    return "ok"

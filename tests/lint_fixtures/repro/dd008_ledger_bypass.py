@@ -1,0 +1,10 @@
+"""DD008 fixture: ledger-field writes outside the owning modules (3 findings)."""
+
+from typing import Any
+
+
+def fudge_stats(stats: Any) -> None:
+    stats.puts += 1                    # finding: ledger write outside owners
+    stats.put_rejected_capacity = 0    # finding: resetting a rejection bucket
+    stats.puts_stored += 1             # finding: bypasses put_many
+    stats.gets += 1                    # clean: not a put-ledger field

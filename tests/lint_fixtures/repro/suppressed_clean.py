@@ -1,0 +1,15 @@
+"""Suppression fixture: every violation is justified, so lint is clean."""
+
+import time
+
+# dd-lint: disable-file=DD002 (fixture demonstrates file-wide suppression)
+import random
+
+
+def profile_wall_clock() -> float:
+    return time.time()  # dd-lint: disable=DD001 (host-side profiling example)
+
+
+def jitter() -> float:
+    # dd-lint: disable-next-line=DD002 (covered by the file-wide pragma anyway)
+    return random.random()

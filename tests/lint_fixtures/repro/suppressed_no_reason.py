@@ -1,0 +1,11 @@
+"""Suppression fixture: pragma without justification -> DD000 warning.
+
+The DD001 finding itself is silenced, but strict mode still fails the
+file because the suppression carries no reason.
+"""
+
+import time
+
+
+def profile_wall_clock() -> float:
+    return time.time()  # dd-lint: disable=DD001

@@ -1,6 +1,5 @@
 """Tests for entitlement computation (the policy module)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ the examples directory."""
 import re
 from pathlib import Path
 
-import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 

@@ -10,11 +10,8 @@ import pytest
 from repro.experiments import (
     ALL_EXPERIMENTS,
     AppBehaviorExperiment,
-    CachingModesExperiment,
-    CooperativeExperiment,
     DynamicContainersExperiment,
     DynamicVMsExperiment,
-    FlexiblePolicyExperiment,
     MotivationExperiment,
 )
 from repro.experiments.runner import ExperimentResult

@@ -5,7 +5,6 @@ is in flight, stores saturated or resized under load, workloads
 interrupted mid-operation, write buffers overflowing.
 """
 
-import pytest
 
 from repro import SimContext
 from repro.core import CachePolicy, DDConfig, StoreKind

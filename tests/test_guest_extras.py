@@ -1,7 +1,6 @@
 """Additional guest-OS edge cases: appends, wraps, fsync corners,
 flusher interactions, multi-container file sharing accounting."""
 
-import pytest
 
 from repro import SimContext
 from repro.core import CachePolicy, DDConfig
@@ -157,7 +156,7 @@ class TestMultiVMIsolation:
         coexist in the hypervisor cache without cross-talk."""
         ctx = SimContext(seed=84)
         host = ctx.create_host()
-        cache = host.install_doubledecker(DDConfig(mem_capacity_mb=256))
+        host.install_doubledecker(DDConfig(mem_capacity_mb=256))
         vm1 = host.create_vm("vm1", memory_mb=512)
         vm2 = host.create_vm("vm2", memory_mb=512)
         c1 = vm1.create_container("a", 16, CachePolicy.memory(100))

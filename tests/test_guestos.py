@@ -5,7 +5,6 @@ exclusivity between page cache and hypervisor cache, cgroup limit
 enforcement, writeback ordering, swap behaviour.
 """
 
-import pytest
 
 from repro.context import SimContext
 from repro.core import CachePolicy, DDConfig, StoreKind

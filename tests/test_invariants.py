@@ -12,7 +12,6 @@ rests on:
 3. **Capacity** — no store ever exceeds its configured capacity.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,331 @@
+"""sim-lint suite: every DD rule fires on its fixture, suppressions and
+formats round-trip, the shipped tree is clean, and the runtime sanitizer
+guards/hashseed discipline behave."""
+
+import json
+import unittest
+from pathlib import Path
+
+from repro.core import victim
+from repro.lint import ALL_RULES, Finding, lint_file, lint_paths, rule_catalog
+from repro.lint.__main__ import main as lint_main
+from repro.lint.engine import exit_code, format_findings_json, iter_python_files
+from repro.lint.typed import TYPED_CORE_MODULES, run_mypy
+from repro.lint import sanitize
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures" / "repro"
+
+
+def lint_fixture(name):
+    return lint_paths([FIXTURES / name], ALL_RULES, root=REPO)
+
+
+class RuleFiringTests(unittest.TestCase):
+    """Each rule must fire on its known-bad snippet — exact counts, so a
+    rule that silently widens or narrows breaks the suite."""
+
+    CASES = [
+        ("dd001_wall_clock.py", "DD001", 4),
+        ("dd002_unseeded_random.py", "DD002", 3),
+        ("dd003_unordered_iteration.py", "DD003", 5),
+        ("dd004_float_drift.py", "DD004", 3),
+        ("dd005_mutable_default.py", "DD005", 3),
+        ("dd006_unguarded_tracer.py", "DD006", 2),
+        ("dd007_swallowed_errors.py", "DD007", 3),
+        ("dd008_ledger_bypass.py", "DD008", 3),
+        ("core/victim.py", "TC001", 2),
+    ]
+
+    def test_every_rule_fires_on_its_fixture(self):
+        for name, rule_id, expected in self.CASES:
+            with self.subTest(rule=rule_id):
+                findings = lint_fixture(name)
+                hits = [f for f in findings if f.rule_id == rule_id]
+                self.assertEqual(
+                    len(hits), expected,
+                    f"{rule_id} fired {len(hits)}x on {name}, expected "
+                    f"{expected}: {[f.message for f in findings]}")
+                # The fixture must not trip unrelated rules.
+                others = [f for f in findings
+                          if f.rule_id not in (rule_id, "DD000")]
+                self.assertEqual(others, [], f"unexpected findings in {name}")
+
+    def test_dd003_keys_iteration_is_a_warning(self):
+        findings = lint_fixture("dd003_unordered_iteration.py")
+        keys_findings = [f for f in findings if "dict.keys()" in f.message]
+        self.assertEqual(len(keys_findings), 1)
+        self.assertEqual(keys_findings[0].severity, "warning")
+        set_findings = [f for f in findings
+                        if f.rule_id == "DD003" and f is not keys_findings[0]]
+        self.assertTrue(all(f.severity == "error" for f in set_findings))
+
+    def test_every_catalogued_rule_has_a_firing_case(self):
+        covered = {rule_id for _, rule_id, _ in self.CASES}
+        catalogued = {entry["id"] for entry in rule_catalog()}
+        self.assertEqual(catalogued, covered)
+
+    def test_fixture_dir_fails_strict_lint(self):
+        findings = lint_paths([FIXTURES], ALL_RULES, root=REPO)
+        self.assertEqual(exit_code(findings, strict=True), 1)
+        self.assertEqual(exit_code(findings, strict=False), 1)
+
+
+class SuppressionTests(unittest.TestCase):
+    def test_justified_suppressions_silence_findings(self):
+        findings = lint_fixture("suppressed_clean.py")
+        self.assertEqual(findings, [],
+                         [f.message for f in findings])
+
+    def test_unjustified_suppression_is_dd000_and_fails_strict_only(self):
+        findings = lint_fixture("suppressed_no_reason.py")
+        self.assertEqual([f.rule_id for f in findings], ["DD000"])
+        self.assertEqual(findings[0].severity, "warning")
+        # The DD001 finding itself stayed suppressed.
+        self.assertNotIn("DD001", {f.rule_id for f in findings})
+        self.assertEqual(exit_code(findings, strict=False), 0)
+        self.assertEqual(exit_code(findings, strict=True), 1)
+
+    def test_unknown_rule_in_pragma_is_flagged(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "snippet.py"
+            path.write_text(
+                "X = 1  # dd-lint: disable=DD999 (no such rule)\n")
+            findings = lint_file(path, ALL_RULES)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("unknown rule", findings[0].message)
+
+    def test_docstrings_mentioning_pragmas_are_ignored(self):
+        # engine.py documents the syntax in its docstring; only real
+        # comment tokens may parse as pragmas.
+        findings = lint_paths(
+            [REPO / "src" / "repro" / "lint"], ALL_RULES, root=REPO)
+        self.assertEqual([f for f in findings if f.rule_id == "DD000"], [])
+
+
+class FormatAndCliTests(unittest.TestCase):
+    def test_json_round_trip(self):
+        findings = lint_fixture("dd004_float_drift.py")
+        payload = json.loads(format_findings_json(findings, strict=True))
+        self.assertEqual(payload["version"], 1)
+        self.assertTrue(payload["strict"])
+        self.assertEqual(payload["counts"]["total"], len(findings))
+        self.assertEqual(payload["counts"]["errors"],
+                         sum(1 for f in findings if f.severity == "error"))
+        rebuilt = [Finding.from_dict(item) for item in payload["findings"]]
+        self.assertEqual(rebuilt, list(findings))
+
+    def test_cli_json_output_parses(self):
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = lint_main([str(FIXTURES / "dd001_wall_clock.py"),
+                                "--format", "json"])
+        self.assertEqual(status, 1)
+        payload = json.loads(buffer.getvalue())
+        self.assertEqual(payload["counts"]["errors"], 4)
+        self.assertTrue(all(f["rule"] == "DD001"
+                            for f in payload["findings"]))
+
+    def test_cli_rule_filter(self):
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = lint_main([str(FIXTURES), "--rule", "DD005",
+                                "--format", "json"])
+        self.assertEqual(status, 1)
+        payload = json.loads(buffer.getvalue())
+        self.assertTrue(payload["findings"])
+        self.assertTrue(all(f["rule"] == "DD005"
+                            for f in payload["findings"]))
+
+    def test_cli_unknown_rule_exits_2(self):
+        import contextlib
+        import io
+
+        with self.assertRaises(SystemExit) as caught:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                lint_main([str(FIXTURES), "--rule", "DD999"])
+        self.assertEqual(caught.exception.code, 2)
+
+    def test_cli_list_rules(self):
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = lint_main(["--list-rules"])
+        self.assertEqual(status, 0)
+        for rule in ALL_RULES:
+            self.assertIn(rule.rule_id, buffer.getvalue())
+
+    def test_shipped_tree_is_strict_clean(self):
+        # The acceptance gate: the repository's own src/ and tests/ lint
+        # clean under --strict (fixtures are pruned from the walk).
+        findings = lint_paths([REPO / "src", REPO / "tests"], ALL_RULES,
+                              root=REPO)
+        self.assertEqual(findings, [],
+                         "\n".join(f"{f.path}:{f.line}: {f.rule_id} "
+                                   f"{f.message}" for f in findings))
+
+    def test_walk_prunes_fixtures_and_caches(self):
+        files = list(iter_python_files([REPO / "tests"]))
+        self.assertTrue(files)
+        self.assertFalse([p for p in files if "lint_fixtures" in str(p)])
+        self.assertFalse([p for p in files if "__pycache__" in str(p)])
+        # Deterministic walk order.
+        self.assertEqual(files, sorted(files))
+
+
+class TypedCoreGateTests(unittest.TestCase):
+    def test_shipped_typed_core_modules_pass_tc001(self):
+        src = REPO / "src" / "repro"
+        for tail in TYPED_CORE_MODULES:
+            with self.subTest(module=tail):
+                findings = lint_paths([src / tail], ALL_RULES, root=REPO)
+                self.assertEqual(
+                    [f for f in findings if f.rule_id == "TC001"], [])
+
+    def test_run_mypy_skips_cleanly_when_absent(self):
+        import shutil
+
+        code, output = run_mypy()
+        if shutil.which("mypy") is None:
+            self.assertEqual(code, 0)
+            self.assertIn("not installed", output)
+        else:
+            self.assertEqual(code, 0, output)
+
+
+class SanitizerTests(unittest.TestCase):
+    def _entities(self):
+        return [victim.EvictionEntity(ref=None, entitlement=0, used=8,
+                                      weightage=1.0)]
+
+    def test_hashseed_problem_cases(self):
+        import os
+
+        saved = os.environ.get("PYTHONHASHSEED")
+        try:
+            os.environ.pop("PYTHONHASHSEED", None)
+            self.assertIn("not set", sanitize.hashseed_problem())
+            os.environ["PYTHONHASHSEED"] = "random"
+            self.assertIn("random", sanitize.hashseed_problem())
+            os.environ["PYTHONHASHSEED"] = "0"
+            self.assertIsNone(sanitize.hashseed_problem())
+        finally:
+            if saved is None:
+                os.environ.pop("PYTHONHASHSEED", None)
+            else:
+                os.environ["PYTHONHASHSEED"] = saved
+
+    def test_assert_ordered(self):
+        sanitize.assert_ordered([1, 2], "here")
+        sanitize.assert_ordered((1, 2), "here")
+        for bad in ({1, 2}, frozenset((1, 2)), {1: 2}.keys(),
+                    {1: 2}.values(), {1: 2}.items()):
+            with self.assertRaises(sanitize.NondeterminismError):
+                sanitize.assert_ordered(bad, "here")
+
+    def test_decision_guards_reject_sets_and_restore(self):
+        from repro.core import cache_manager
+
+        original = victim.get_victim
+        with sanitize.decision_guards() as guards:
+            self.assertIsNot(victim.get_victim, original)
+            self.assertIs(victim.get_victim, cache_manager.get_victim)
+            chosen = victim.get_victim(self._entities(), 1)
+            self.assertIsNotNone(chosen)
+            self.assertEqual(guards.calls, 1)
+            with self.assertRaises(sanitize.NondeterminismError):
+                victim.get_victim(set(), 1)
+        self.assertIs(victim.get_victim, original)
+        self.assertIs(cache_manager.get_victim, original)
+
+    def test_run_smoke_detects_guard_violation(self):
+        from repro import experiments
+
+        class BadExperiment:
+            def __init__(self, scale, seed):
+                pass
+
+            def run(self):
+                victim.get_victim(set(), 1)
+
+        lines = []
+        saved = dict(experiments.ALL_EXPERIMENTS)
+        experiments.ALL_EXPERIMENTS["_bad"] = BadExperiment
+        try:
+            status = sanitize.run_smoke(
+                experiment="_bad", require_hashseed=False,
+                out=lines.append)
+        finally:
+            experiments.ALL_EXPERIMENTS.clear()
+            experiments.ALL_EXPERIMENTS.update(saved)
+        self.assertEqual(status, 1)
+        self.assertIn("guard fired", lines[0])
+
+    def test_run_smoke_detects_double_run_divergence(self):
+        from repro import experiments
+
+        entities = self._entities()
+        counter = {"round": 0}
+
+        class FlakyResult:
+            def summary(self, plots=True):
+                counter["round"] += 1
+                return f"round {counter['round']}"
+
+        class FlakyExperiment:
+            def __init__(self, scale, seed):
+                pass
+
+            def run(self):
+                victim.get_victim(list(entities), 1)
+                return FlakyResult()
+
+        lines = []
+        saved = dict(experiments.ALL_EXPERIMENTS)
+        experiments.ALL_EXPERIMENTS["_flaky"] = FlakyExperiment
+        try:
+            status = sanitize.run_smoke(
+                experiment="_flaky", require_hashseed=False,
+                out=lines.append)
+        finally:
+            experiments.ALL_EXPERIMENTS.clear()
+            experiments.ALL_EXPERIMENTS.update(saved)
+        self.assertEqual(status, 1)
+        self.assertIn("diverged", lines[0])
+
+    def test_run_smoke_requires_hashseed(self):
+        import os
+
+        saved = os.environ.get("PYTHONHASHSEED")
+        lines = []
+        try:
+            os.environ.pop("PYTHONHASHSEED", None)
+            status = sanitize.run_smoke(out=lines.append)
+        finally:
+            if saved is not None:
+                os.environ["PYTHONHASHSEED"] = saved
+        self.assertEqual(status, 1)
+        self.assertIn("PYTHONHASHSEED", lines[0])
+
+    def test_run_smoke_unknown_experiment(self):
+        lines = []
+        status = sanitize.run_smoke(experiment="_nope",
+                                    require_hashseed=False,
+                                    out=lines.append)
+        self.assertEqual(status, 1)
+        self.assertIn("unknown experiment", lines[0])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,7 +1,6 @@
 """Property tests driving the DoubleDecker manager directly with random
 control-plane + data-plane op sequences (no guest in the loop)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

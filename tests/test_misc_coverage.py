@@ -1,6 +1,5 @@
 """Targeted tests for smaller code paths not covered elsewhere."""
 
-import pytest
 
 from repro.experiments.runner import Experiment, ExperimentResult
 from repro.metrics import MetricsRegistry, Sampler

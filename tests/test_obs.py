@@ -21,7 +21,6 @@ from repro.obs import (
     LEDGER_FIELDS,
     Tracer,
     attach_latency_report,
-    events_to_perfetto,
     get_tracer,
     ledger_violations,
     parse_jsonl,

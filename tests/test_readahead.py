@@ -1,6 +1,5 @@
 """Tests for sequential readahead in the guest read path."""
 
-import pytest
 
 from repro import SimContext
 from repro.core import CachePolicy, DDConfig

@@ -7,9 +7,6 @@ from repro.simkernel import (
     AnyOf,
     EmptySchedule,
     Environment,
-    Event,
-    Interrupt,
-    Timeout,
 )
 
 

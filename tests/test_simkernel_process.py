@@ -73,7 +73,7 @@ class TestProcessBasics:
         def bad(env):
             yield 42
 
-        process = env.process(bad(env))
+        env.process(bad(env))
         with pytest.raises(RuntimeError, match="not an Event"):
             env.run(until=1)
 

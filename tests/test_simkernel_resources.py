@@ -64,7 +64,7 @@ class TestResource:
     def test_release_of_waiting_request_cancels_it(self):
         env = Environment()
         res = Resource(env, capacity=1)
-        r1 = res.request()
+        res.request()  # granted immediately; occupies the single slot
         r2 = res.request()
         env.run(until=0)
         res.release(r2)  # r2 never granted: this must cancel, not free

@@ -1,6 +1,5 @@
 """Tests for cache store backends (memory costs, SSD async writes)."""
 
-import pytest
 
 from repro.core.stores import MemBackend, SSDBackend, contiguous_runs
 from repro.simkernel import Environment

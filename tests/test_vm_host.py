@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SimContext
-from repro.core import CachePolicy, DDConfig, StoreKind
+from repro.core import CachePolicy, DDConfig
 from repro.hypervisor import HostSpec
 
 

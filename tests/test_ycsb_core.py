@@ -2,7 +2,6 @@
 
 import collections
 
-import pytest
 
 from repro import SimContext
 from repro.core import CachePolicy, DDConfig
