@@ -154,7 +154,17 @@ def run_e2e():
         record["trace_rounds"] = TRACE_ROUNDS
         record["trace_on_s"] = round(min(trace_times), 2)
         record["trace_overhead"] = round(min(trace_times) / elapsed, 2)
-    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    # Fold into the existing file: other tools (bench_kernel.py's
+    # ``kernel_micro``, perf_smoke.py's ``perf_smoke``) keep their
+    # sections.
+    merged = {}
+    if OUT_PATH.exists():
+        try:
+            merged = json.loads(OUT_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(record)
+    OUT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
     return record, result
 
 

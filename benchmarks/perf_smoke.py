@@ -1,0 +1,132 @@
+"""Fixed-seed perf smoke: fingerprint golden + wall-time regression gate.
+
+CI's perf-smoke job runs this in check mode (no arguments).  It executes
+the smoke scenario — ``caching_modes`` at ``scale=0.02, seed=42``, the
+same configuration the runtime sanitizer double-runs — and asserts two
+things against the committed record in ``BENCH_core.json``:
+
+* **Fingerprint** — the SHA-256 of the run's summary table must equal
+  the recorded ``perf_smoke.fingerprint_sha256`` exactly.  Any drift in
+  simulated results (not wall time) fails the job; this is the
+  cross-machine complement to the sanitizer's same-process double run.
+* **Wall time** — the run must not take more than ``1 + threshold``
+  times the recorded ``perf_smoke.smoke_s`` (default threshold 0.25,
+  override with ``REPRO_SMOKE_MAX_REGRESSION``; set a large value on
+  known-slow runners).  Generous compared to the e2e benchmark's
+  min-of-N precision, because a single CI round is noisy — the gate is
+  for order-of-magnitude regressions (an accidental O(n^2) sweep, a
+  debug loop left enabled), not for micro-tuning.
+
+Re-record after an intentional perf or behaviour change::
+
+    PYTHONHASHSEED=0 PYTHONPATH=src python benchmarks/perf_smoke.py --record
+
+which updates the ``perf_smoke`` section of ``BENCH_core.json`` (the
+other sections are preserved; ``bench_e2e_speed.py`` and
+``bench_kernel.py`` maintain theirs the same way).
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.caching_modes import CachingModesExperiment
+
+#: Smoke configuration — matches the runtime sanitizer's double run.
+SCALE = 0.02
+SEED = 42
+
+#: Allowed fractional wall-time regression before the gate fails.
+MAX_REGRESSION = float(os.environ.get("REPRO_SMOKE_MAX_REGRESSION", "0.25"))
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def run_smoke():
+    """One smoke round; returns ``(elapsed_s, summary_sha256)``."""
+    started = time.perf_counter()
+    result = CachingModesExperiment(scale=SCALE, seed=SEED).run()
+    elapsed = time.perf_counter() - started
+    summary = result.summary(plots=False)
+    digest = hashlib.sha256(summary.encode("utf-8")).hexdigest()
+    return elapsed, digest
+
+
+def record():
+    """Run the smoke scenario and write the golden record."""
+    elapsed, digest = run_smoke()
+    data = {}
+    if OUT_PATH.exists():
+        data = json.loads(OUT_PATH.read_text())
+    data["perf_smoke"] = {
+        "experiment": "caching_modes",
+        "scale": SCALE,
+        "seed": SEED,
+        "smoke_s": round(elapsed, 2),
+        "fingerprint_sha256": digest,
+    }
+    OUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"recorded perf_smoke: {elapsed:.2f}s, fingerprint {digest[:16]}…")
+    return 0
+
+
+def check():
+    """Run the smoke scenario and gate against the committed record."""
+    if not OUT_PATH.exists():
+        print(f"{OUT_PATH} missing; run with --record first", file=sys.stderr)
+        return 2
+    data = json.loads(OUT_PATH.read_text())
+    golden = data.get("perf_smoke")
+    if not golden:
+        print("BENCH_core.json has no perf_smoke record; run --record first",
+              file=sys.stderr)
+        return 2
+    elapsed, digest = run_smoke()
+    failures = []
+    if digest != golden["fingerprint_sha256"]:
+        failures.append(
+            "fingerprint mismatch: simulated results drifted from the "
+            f"committed golden ({digest[:16]}… != "
+            f"{golden['fingerprint_sha256'][:16]}…)"
+        )
+    budget = golden["smoke_s"] * (1.0 + MAX_REGRESSION)
+    if elapsed > budget:
+        failures.append(
+            f"wall-time regression: {elapsed:.2f}s > {budget:.2f}s "
+            f"(recorded {golden['smoke_s']:.2f}s + {MAX_REGRESSION:.0%})"
+        )
+    status = "FAIL" if failures else "ok"
+    print(f"perf smoke {status}: {elapsed:.2f}s "
+          f"(recorded {golden['smoke_s']:.2f}s), fingerprint {digest[:16]}…")
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- pytest entry point (record shape only; timing gates are CI's) ------
+
+def test_perf_smoke_record_is_committed():
+    """The golden record must exist and describe the smoke config."""
+    data = json.loads(OUT_PATH.read_text())
+    golden = data["perf_smoke"]
+    assert golden["experiment"] == "caching_modes"
+    assert golden["scale"] == SCALE
+    assert golden["seed"] == SEED
+    assert golden["smoke_s"] > 0
+    assert len(golden["fingerprint_sha256"]) == 64
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="re-record the golden fingerprint and wall time")
+    args = parser.parse_args(argv)
+    return record() if args.record else check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

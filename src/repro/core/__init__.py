@@ -42,7 +42,7 @@ from .config import CachePolicy, DDConfig, StoreKind
 from .interface import HypervisorCacheBase, NullCache
 from .optimizations import CompressionModel, DedupIndex, content_fingerprint
 from .pools import BlockKey, Pool, VMEntry
-from .radix import RadixTree
+from .radix import BlockTable, RadixTree
 from .stats import PoolStats, StoreStats
 from .victim import EvictionEntity, exceed_value, fallback_victim, get_victim
 
@@ -56,6 +56,7 @@ __all__ = [
     "make_admission",
     "set_default_admission",
     "BlockKey",
+    "BlockTable",
     "CachePolicy",
     "InvariantViolation",
     "ReferenceCache",

@@ -6,9 +6,9 @@ drift mechanically instead of by luck:
 
 * :func:`check_cache` / :func:`assert_consistent` — recompute ground
   truth from first principles (pool FIFO lengths vs ``pool.used`` vs
-  radix ``_size`` vs ``manager.used`` vs memory units / dedup refcounts
-  vs backend occupancy vs freshly recomputed entitlements) and report
-  every cross-layer inconsistency.  Works on :class:`DoubleDeckerCache`
+  the file index vs the block-slab ``kind`` plane vs ``manager.used``
+  vs memory units / dedup refcounts vs backend occupancy vs freshly
+  recomputed entitlements) and report every cross-layer inconsistency.  Works on :class:`DoubleDeckerCache`
   and both baselines; side-effect free, so it can run mid-simulation.
 * :func:`start_periodic_audit` — a simulation process that re-audits a
   cache every N simulated seconds.  Wired up automatically by
@@ -41,6 +41,8 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from .config import CachePolicy, DDConfig, StoreKind
 from .optimizations import content_fingerprint
 from .policy import recompute_entitlements
+from .pools import CODE_OF as _CODE_OF
+from .pools import KIND_OF as _CODE_KINDS
 from .pools import BlockKey
 from ..endurance import default_admission
 from ..storage import MB
@@ -131,23 +133,55 @@ def assert_consistent(cache, where: str = "") -> None:
 
 
 def _check_pool_structures(pool, violations: List[str]) -> Dict[BlockKey, StoreKind]:
-    """Pool-internal coherence: radix index vs FIFOs vs ``pool.used``.
+    """Pool-internal coherence: file index vs block slab vs FIFOs vs
+    ``pool.used``.
+
+    The pool's per-file dicts hold integer handles into the flat
+    :class:`~repro.core.radix.BlockTable`; every handle must be in range,
+    point at a live slot, and agree with the slot's recorded identity.
+    FIFO walks are bounded by the slab size (via ``fifo_handles``), so a
+    tampered link cycle shows up as a length mismatch instead of hanging
+    the auditor.
 
     Returns the pool's index contents so callers can cross-check further.
     """
     label = f"pool {pool.pool_id} ({pool.name!r})"
+    table = pool.table
+    slots = len(table.kind)
     index: Dict[BlockKey, StoreKind] = {}
+    seen_handles: Dict[int, BlockKey] = {}
     for inode, tree in pool.files.items():
-        entries = list(tree.items())
-        if len(entries) != len(tree):
-            violations.append(
-                f"{label}: radix _size for inode {inode} is {len(tree)} "
-                f"but the tree holds {len(entries)} entries"
-            )
-        if not entries:
-            violations.append(f"{label}: empty radix tree left behind for inode {inode}")
-        for block, kind in entries:
-            index[(inode, block)] = kind
+        if not tree:
+            violations.append(f"{label}: empty block index left behind for inode {inode}")
+        for block, handle in tree.items():
+            key = (inode, block)
+            if not 0 <= handle < slots:
+                violations.append(
+                    f"{label}: index entry {key} holds out-of-range "
+                    f"handle {handle} (slab has {slots} slots)"
+                )
+                continue
+            code = table.kind[handle]
+            if code == 0 or code >= len(_CODE_KINDS):
+                violations.append(
+                    f"{label}: index entry {key} points at slot {handle} "
+                    f"with store code {code} (free or unknown)"
+                )
+                continue
+            if table.inode[handle] != inode or table.block[handle] != block:
+                violations.append(
+                    f"{label}: slab slot {handle} records identity "
+                    f"({table.inode[handle]}, {table.block[handle]}) but "
+                    f"the index filed it under {key}"
+                )
+            other = seen_handles.get(handle)
+            if other is not None:
+                violations.append(
+                    f"{label}: handle {handle} indexed twice "
+                    f"({other} and {key})"
+                )
+            seen_handles[handle] = key
+            index[key] = _CODE_KINDS[code]
     for kind in _KINDS:
         fifo = pool.fifos[kind]
         if len(fifo) != pool.used[kind]:
@@ -162,14 +196,25 @@ def _check_pool_structures(pool, violations: List[str]) -> Dict[BlockKey, StoreK
             if indexed is not kind:
                 violations.append(
                     f"{label}: FIFO key {key} in the {kind} queue but the "
-                    f"radix index says {indexed}"
+                    f"block index says {indexed}"
                 )
     fifo_total = sum(len(pool.fifos[kind]) for kind in _KINDS)
     if len(index) != fifo_total:
         violations.append(
-            f"{label}: radix index holds {len(index)} blocks but the FIFOs "
+            f"{label}: block index holds {len(index)} blocks but the FIFOs "
             f"hold {fifo_total}"
         )
+    # Independent third record: sweep the slab's kind plane and compare
+    # per-store occupancy against the pool's usage counters.
+    occupancy = table.occupancy()
+    for kind in _KINDS:
+        code = _CODE_OF[kind]
+        counted = occupancy[code] if code < len(occupancy) else 0
+        if counted != pool.used[kind]:
+            violations.append(
+                f"{label}: slab sweep counts {counted} live {kind} slots "
+                f"but pool.used[{kind}] is {pool.used[kind]}"
+            )
     return index
 
 

@@ -249,32 +249,23 @@ class DoubleDeckerCache(HypervisorCacheBase):
         if tracer is not None:
             tracer.span_begin()
             t0 = self.env.now
-        found: Set[BlockKey] = set()
-        mem_hits = 0
-        ssd_keys: List[BlockKey] = []
-        # Hot loop: every guest page-cache miss funnels through here.  The
-        # per-key branches and attribute chains are hoisted out, and the
-        # lookup+remove pair is folded into one tree descent (``remove``
-        # reports the store the block was in).
+        # Hot path: every guest page-cache miss funnels through here.  The
+        # whole batch is applied as one index sweep over the pool's flat
+        # block table; only memory hits need per-key work afterwards (the
+        # dedup/compression accounting is inherently per block).
         stats = pool.stats
         stats.gets += len(keys)
-        remove = pool.remove_key
-        release = self._mem_release
-        used = self.used
-        add_found = found.add
-        append_ssd = ssd_keys.append
-        MEMORY = StoreKind.MEMORY
-        for key in keys:
-            kind = remove(key)
-            if kind is None:
-                continue
-            used[kind] -= 1
-            if kind is MEMORY:
-                release(vm_id, key[0], key[1])
-                mem_hits += 1
-            else:
-                append_ssd(key)
-            add_found(key)
+        mem_keys, ssd_keys = pool.remove_many(keys)
+        mem_hits = len(mem_keys)
+        if mem_hits:
+            self.used[StoreKind.MEMORY] -= mem_hits
+            release = self._mem_release
+            for inode, block in mem_keys:
+                release(vm_id, inode, block)
+        if ssd_keys:
+            self.used[StoreKind.SSD] -= len(ssd_keys)
+        found: Set[BlockKey] = set(mem_keys)
+        found.update(ssd_keys)
         stats.get_hits += len(found)
         # Ledger before the trailing yields (mirrors the stats updates, so
         # the auditor reconciles even if the generator never resumes);
@@ -436,18 +427,15 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
     def flush_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]) -> int:
         pool = self._require_pool(vm_id, pool_id)
-        dropped = 0
-        remove = pool.remove_key
-        release = self._mem_release
-        used = self.used
-        MEMORY = StoreKind.MEMORY
-        for key in keys:
-            kind = remove(key)
-            if kind is not None:
-                used[kind] -= 1
-                if kind is MEMORY:
-                    release(vm_id, key[0], key[1])
-                dropped += 1
+        mem_keys, ssd_keys = pool.remove_many(keys)
+        if mem_keys:
+            self.used[StoreKind.MEMORY] -= len(mem_keys)
+            release = self._mem_release
+            for inode, block in mem_keys:
+                release(vm_id, inode, block)
+        if ssd_keys:
+            self.used[StoreKind.SSD] -= len(ssd_keys)
+        dropped = len(mem_keys) + len(ssd_keys)
         # ``flushes`` counts blocks actually dropped (same as flush_inode);
         # ``flush_requests`` counts blocks the guest asked about, so the
         # miss rate of flushes stays observable without skewing drop stats.
@@ -461,11 +449,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
     def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
         pool = self._require_pool(vm_id, pool_id)
-        tree = pool.files.get(inode)
-        mem_blocks = (
-            [block for block, kind in tree.items() if kind is StoreKind.MEMORY]
-            if tree is not None else []
-        )
+        mem_blocks = pool.mem_blocks_of_inode(inode)
         counts = pool.remove_inode(inode)
         for block in mem_blocks:
             self._mem_release(vm_id, inode, block)
@@ -498,12 +482,15 @@ class DoubleDeckerCache(HypervisorCacheBase):
         target = self._require_pool(vm_id, to_pool)
         if from_pool == to_pool:
             return 0
-        tree = source.files.get(inode)
-        if tree is None:
+        # Ascending block order (as the old radix index reported): the
+        # target-FIFO insertion order feeds future evictions, so it is
+        # part of the deterministic contract.
+        items = source.items_of_inode(inode)
+        if not items:
             return 0
         target_policy = target.policy
         moved = 0
-        for block, kind in list(tree.items()):
+        for block, kind in items:
             if target_policy.weight_for(kind) <= 0:
                 continue
             source.remove(inode, block)

@@ -1,50 +1,98 @@
 """Cache pools: the per-container object namespaces of the hypervisor cache.
 
 Each application container gets a *pool* (created via the ``CREATE_CGROUP``
-event).  A pool indexes its cached blocks with the paper's structure — a
-per-file hash table of radix trees — and additionally keeps one FIFO per
-store backend, which is the eviction order (FIFO is the LRU-equivalent for
-an exclusive cache: a hit removes the block, so residence order is
-insertion order).
+event).  A pool indexes its cached blocks with a per-file hash table of
+``{block -> handle}`` dicts; all per-block state — identity, store, FIFO
+links — lives in a flat :class:`~repro.core.radix.BlockTable` slab shared
+by the whole pool, so the data path never allocates per-block objects.
+One intrusive FIFO per store backend is the eviction order (FIFO is the
+LRU-equivalent for an exclusive cache: a hit removes the block, so
+residence order is insertion order).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .config import CachePolicy, StoreKind
-from .radix import RadixTree
+from .radix import BlockTable
 from .stats import PoolStats
 
-__all__ = ["Pool", "VMEntry", "BlockKey"]
+__all__ = ["Pool", "VMEntry", "BlockKey", "CODE_OF", "KIND_OF"]
 
 #: A cached object's identity within a pool: (inode number, block offset).
 BlockKey = Tuple[int, int]
+
+_MEMORY = StoreKind.MEMORY
+_SSD = StoreKind.SSD
+
+#: Slab store codes (0 is the slab's free-slot marker).
+CODE_OF: Dict[StoreKind, int] = {_MEMORY: 1, _SSD: 2}
+#: Inverse mapping, indexable by code.
+KIND_OF: Tuple[Optional[StoreKind], ...] = (None, _MEMORY, _SSD)
+
+_CODE_MEMORY = 1
+_CODE_SSD = 2
+
+
+class _FifoView:
+    """Read-only view of one store's FIFO, oldest first.
+
+    Iteration and length walk the slab's intrusive list, so the view is
+    always live.  Only audit/diagnostic paths use it — the data path
+    works on the slab directly.
+    """
+
+    __slots__ = ("_table", "_code")
+
+    def __init__(self, table: BlockTable, code: int) -> None:
+        self._table = table
+        self._code = code
+
+    def __iter__(self) -> Iterator[BlockKey]:
+        return self._table.fifo_keys(self._code)
+
+    def __len__(self) -> int:
+        n = 0
+        for _ in self._table.fifo_handles(self._code):
+            n += 1
+        return n
+
+    def __bool__(self) -> bool:
+        return self._table.heads[self._code] >= 0
+
+    def __contains__(self, key: BlockKey) -> bool:
+        for candidate in self:
+            if candidate == key:
+                return True
+        return False
 
 
 class Pool:
     """One container's slice of the hypervisor cache."""
 
-    __slots__ = ("pool_id", "vm_id", "name", "policy", "files", "fifos",
-                 "used", "entitlement", "stats", "active", "admission")
+    __slots__ = ("pool_id", "vm_id", "name", "policy", "files", "table",
+                 "fifos", "used", "entitlement", "stats", "active",
+                 "admission")
 
     def __init__(self, pool_id: int, vm_id: int, name: str, policy: CachePolicy) -> None:
         self.pool_id = pool_id
         self.vm_id = vm_id
         self.name = name
         self.policy = policy
-        #: inode -> RadixTree(block offset -> StoreKind)
-        self.files: Dict[int, "RadixTree"] = {}
-        #: StoreKind -> FIFO of BlockKey (insertion-ordered)
-        self.fifos: Dict[StoreKind, "OrderedDict[BlockKey, None]"] = {
-            StoreKind.MEMORY: OrderedDict(),
-            StoreKind.SSD: OrderedDict(),
+        #: inode -> {block offset -> slab handle}
+        self.files: Dict[int, Dict[int, int]] = {}
+        #: Flat per-block state (identity, store code, FIFO links).
+        self.table = BlockTable()
+        #: StoreKind -> live FIFO view (insertion-ordered keys).
+        self.fifos: Dict[StoreKind, _FifoView] = {
+            _MEMORY: _FifoView(self.table, _CODE_MEMORY),
+            _SSD: _FifoView(self.table, _CODE_SSD),
         }
         #: StoreKind -> blocks currently cached
-        self.used: Dict[StoreKind, int] = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        self.used: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
         #: StoreKind -> current entitlement in blocks (set by the policy module)
-        self.entitlement: Dict[StoreKind, int] = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        self.entitlement: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
         self.stats = PoolStats(pool_id=pool_id, vm_id=vm_id, name=name)
         #: False once destroyed; guards against use-after-destroy.
         self.active = True
@@ -58,27 +106,65 @@ class Pool:
         tree = self.files.get(inode)
         if tree is None:
             return None
-        return tree.get(block)
+        handle = tree.get(block)
+        if handle is None:
+            return None
+        return KIND_OF[self.table.kind[handle]]
 
     def __len__(self) -> int:
-        return self.used[StoreKind.MEMORY] + self.used[StoreKind.SSD]
+        return self.used[_MEMORY] + self.used[_SSD]
 
     # -- mutation -----------------------------------------------------------------
 
     def insert(self, inode: int, block: int, kind: StoreKind) -> None:
-        """Add a block to store ``kind`` (caller enforces capacity)."""
-        tree = self.files.get(inode)
+        """Add a block to store ``kind`` (caller enforces capacity).
+
+        Replacing an existing copy re-queues it at the tail of ``kind``'s
+        FIFO (the block is the youngest resident again), matching the
+        drop-then-reinsert the paper's put path performs.
+        """
+        files = self.files
+        tree = files.get(inode)
         if tree is None:
-            tree = RadixTree()
-            self.files[inode] = tree
-        # One descent: insert reports what it replaced (None if fresh).
-        previous = tree.insert(block, kind)
-        key = (inode, block)
-        if previous is not None:
-            # Replacing an existing copy: drop the old placement first.
-            del self.fifos[previous][key]
-            self.used[previous] -= 1
-        self.fifos[kind][key] = None
+            tree = {}
+            files[inode] = tree
+        code = _CODE_MEMORY if kind is _MEMORY else _CODE_SSD
+        table = self.table
+        handle = tree.get(block)
+        if handle is not None:
+            previous = table.requeue(handle, code)
+            if previous != code:
+                self.used[KIND_OF[previous]] -= 1
+                self.used[kind] += 1
+            return
+        # Inlined BlockTable.alloc: claim a slot and link at code's FIFO
+        # tail (the insert path runs once per admitted block).
+        next_arr = table.next
+        prev_arr = table.prev
+        handle = table.free_head
+        if handle < 0:
+            kind_arr = table.kind
+            handle = len(kind_arr)
+            table.inode.append(inode)
+            table.block.append(block)
+            kind_arr.append(code)
+            prev_arr.append(-1)
+            next_arr.append(-1)
+        else:
+            table.free_head = next_arr[handle]
+            table.inode[handle] = inode
+            table.block[handle] = block
+            table.kind[handle] = code
+            next_arr[handle] = -1
+        tails = table.tails
+        tail = tails[code]
+        prev_arr[handle] = tail
+        if tail < 0:
+            table.heads[code] = handle
+        else:
+            next_arr[tail] = handle
+        tails[code] = handle
+        tree[block] = handle
         self.used[kind] += 1
 
     def remove(self, inode: int, block: int) -> Optional[StoreKind]:
@@ -89,53 +175,128 @@ class Pool:
         """:meth:`remove` taking the ``(inode, block)`` tuple directly.
 
         The data path iterates over key tuples; accepting them as-is
-        avoids a rebuild of the same tuple for the FIFO deletion.
+        avoids a rebuild of the same tuple for the index deletion.
         """
         inode = key[0]
         tree = self.files.get(inode)
         if tree is None:
             return None
-        kind = tree.remove(key[1])
-        if kind is None:
+        handle = tree.pop(key[1], None)
+        if handle is None:
             return None
-        if not tree._size:
+        if not tree:
             del self.files[inode]
-        del self.fifos[kind][key]
+        # Inlined BlockTable.release: unlink from the FIFO, thread the
+        # slot onto the free-list (the get-hit path runs this per block).
+        table = self.table
+        kind_arr = table.kind
+        prev_arr = table.prev
+        next_arr = table.next
+        code = kind_arr[handle]
+        p = prev_arr[handle]
+        n = next_arr[handle]
+        if p < 0:
+            table.heads[code] = n
+        else:
+            next_arr[p] = n
+        if n < 0:
+            table.tails[code] = p
+        else:
+            prev_arr[n] = p
+        kind_arr[handle] = 0
+        next_arr[handle] = table.free_head
+        table.free_head = handle
+        kind = KIND_OF[code]
         self.used[kind] -= 1
         return kind
+
+    def remove_many(self, keys) -> Tuple[List[BlockKey], List[BlockKey]]:
+        """Batch removal sweep: drop every present key in one pass.
+
+        Returns ``(memory_hits, ssd_hits)`` in request order.  The slab
+        arrays are bound to locals and the unlink/free writes are inlined,
+        so a guest batch costs two dict operations plus a handful of
+        array stores per present key — no per-key method dispatch.
+        """
+        files = self.files
+        table = self.table
+        kind_arr = table.kind
+        prev_arr = table.prev
+        next_arr = table.next
+        heads = table.heads
+        tails = table.tails
+        free_head = table.free_head
+        mem_hits: List[BlockKey] = []
+        ssd_hits: List[BlockKey] = []
+        mem_append = mem_hits.append
+        ssd_append = ssd_hits.append
+        for key in keys:
+            tree = files.get(key[0])
+            if tree is None:
+                continue
+            handle = tree.pop(key[1], None)
+            if handle is None:
+                continue
+            if not tree:
+                del files[key[0]]
+            code = kind_arr[handle]
+            p = prev_arr[handle]
+            n = next_arr[handle]
+            if p < 0:
+                heads[code] = n
+            else:
+                next_arr[p] = n
+            if n < 0:
+                tails[code] = p
+            else:
+                prev_arr[n] = p
+            kind_arr[handle] = 0
+            next_arr[handle] = free_head
+            free_head = handle
+            if code == _CODE_MEMORY:
+                mem_append(key)
+            else:
+                ssd_append(key)
+        table.free_head = free_head
+        if mem_hits:
+            self.used[_MEMORY] -= len(mem_hits)
+        if ssd_hits:
+            self.used[_SSD] -= len(ssd_hits)
+        return mem_hits, ssd_hits
 
     def remove_inode(self, inode: int) -> Dict[StoreKind, int]:
         """Drop every cached block of ``inode``; returns per-store counts."""
         tree = self.files.pop(inode, None)
-        dropped = {StoreKind.MEMORY: 0, StoreKind.SSD: 0}
+        dropped = {_MEMORY: 0, _SSD: 0}
         if tree is None:
             return dropped
-        for block, kind in tree.items():
-            del self.fifos[kind][(inode, block)]
-            self.used[kind] -= 1
-            dropped[kind] += 1
+        table = self.table
+        for handle in tree.values():
+            dropped[KIND_OF[table.release(handle)]] += 1
+        for kind, count in dropped.items():
+            self.used[kind] -= count
         return dropped
 
     def pop_oldest(self, kind: StoreKind) -> Optional[BlockKey]:
         """Evict the FIFO head of store ``kind``; returns its key."""
-        fifo = self.fifos[kind]
-        if not fifo:
+        table = self.table
+        handle = table.pop_head(_CODE_MEMORY if kind is _MEMORY else _CODE_SSD)
+        if handle < 0:
             return None
-        key, _ = fifo.popitem(last=False)
-        inode, block = key
+        inode = table.inode[handle]
+        block = table.block[handle]
         tree = self.files[inode]
-        tree.remove(block)
+        del tree[block]
         if not tree:
             del self.files[inode]
         self.used[kind] -= 1
-        return key
+        return (inode, block)
 
     def drain(self) -> Dict[StoreKind, int]:
         """Remove everything (pool destruction); returns per-store counts."""
         counts = {kind: self.used[kind] for kind in self.used}
         self.files.clear()
-        for fifo in self.fifos.values():
-            fifo.clear()
+        self.table.reset()
         for kind in self.used:
             self.used[kind] = 0
         return counts
@@ -146,6 +307,32 @@ class Pool:
         for k in kinds:
             yield from self.fifos[k]
 
+    # -- per-inode sweeps --------------------------------------------------
+
+    def items_of_inode(self, inode: int) -> List[Tuple[int, StoreKind]]:
+        """``(block, kind)`` pairs of one file in ascending block order
+        (the order the paper's radix tree reports, which
+        ``migrate_objects`` depends on)."""
+        tree = self.files.get(inode)
+        if tree is None:
+            return []
+        kind_arr = self.table.kind
+        return [
+            (block, KIND_OF[kind_arr[handle]])
+            for block, handle in sorted(tree.items())
+        ]
+
+    def mem_blocks_of_inode(self, inode: int) -> List[int]:
+        """Block offsets of one file currently in the memory store."""
+        tree = self.files.get(inode)
+        if tree is None:
+            return []
+        kind_arr = self.table.kind
+        return [
+            block for block, handle in tree.items()
+            if kind_arr[handle] == _CODE_MEMORY
+        ]
+
     # -- snapshot ----------------------------------------------------------------
 
     def snapshot_stats(self) -> PoolStats:
@@ -154,10 +341,10 @@ class Pool:
             pool_id=self.pool_id,
             vm_id=self.vm_id,
             name=self.name,
-            mem_used_blocks=self.used[StoreKind.MEMORY],
-            ssd_used_blocks=self.used[StoreKind.SSD],
-            mem_entitlement_blocks=self.entitlement[StoreKind.MEMORY],
-            ssd_entitlement_blocks=self.entitlement[StoreKind.SSD],
+            mem_used_blocks=self.used[_MEMORY],
+            ssd_used_blocks=self.used[_SSD],
+            mem_entitlement_blocks=self.entitlement[_MEMORY],
+            ssd_entitlement_blocks=self.entitlement[_SSD],
             gets=self.stats.gets,
             get_hits=self.stats.get_hits,
             puts=self.stats.puts,

@@ -24,8 +24,13 @@ from ``scale``/``seed``), so results are byte-identical to a serial run;
 only the wall clock changes.  Output is still printed in the canonical
 experiment order regardless of which worker finishes first.
 
-``--profile [FILE]`` wraps the (serial) run in :mod:`cProfile` and dumps
-a ``.pstats`` file for ``pstats``/``snakeviz``-style analysis.
+``--profile [FILE]`` wraps the run in :mod:`cProfile` and dumps a
+``.pstats`` file for ``pstats``/``snakeviz``-style analysis.  Combined
+with ``--jobs N`` each experiment is profiled inside its worker process
+(profiling the pool's parent would only see an idle dispatcher) and one
+``FILE``-derived ``<stem>.<rank>.pstats`` is written per experiment,
+ranked in canonical experiment order no matter which worker finishes
+first; the parent prints a combined hotspot table across all ranks.
 """
 
 from __future__ import annotations
@@ -41,19 +46,23 @@ from . import ALL_EXPERIMENTS
 
 def _run_one(
     task: Tuple[str, float, int, bool, bool, float, Optional[str],
-                Optional[str], int, int]
-) -> Tuple[str, str, float, Optional[str], Optional[str], Optional[str]]:
+                Optional[str], int, int, bool]
+) -> Tuple[str, str, float, Optional[str], Optional[str], Optional[str],
+           Optional[bytes]]:
     """Run one experiment; module-level so multiprocessing can pickle it.
 
     Returns ``(name, summary, elapsed, json_text, trace_jsonl,
-    trace_perfetto)`` — plain strings only, so the result pickles cheaply
-    and the parent never needs the (large, unpicklable) simulation
-    objects.  The trace fields are ``None`` with tracing off, keeping the
-    untraced output byte-identical whether or not this build knows about
-    tracing.
+    trace_perfetto, profile_blob)`` — plain strings/bytes only, so the
+    result pickles cheaply and the parent never needs the (large,
+    unpicklable) simulation objects.  The trace fields are ``None`` with
+    tracing off, keeping the untraced output byte-identical whether or
+    not this build knows about tracing.  ``profile_blob`` (set by the
+    ``--profile --jobs N`` path) is the worker's marshalled cProfile
+    stats — the exact byte format ``Profile.dump_stats`` writes, so the
+    parent can persist it verbatim and ``pstats`` can load it.
     """
     (name, scale, seed, plots, want_json, audit, admission,
-     trace, trace_ops, trace_sample) = task
+     trace, trace_ops, trace_sample, profile) = task
     cls = ALL_EXPERIMENTS[name]
     from ..core import set_audit_interval, set_default_admission
 
@@ -66,9 +75,20 @@ def _run_one(
 
         tracer = Tracer(max_events=trace_ops, sample=trace_sample)
         set_tracer(tracer)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         started = time.time()  # dd-lint: disable=DD001 (host-side wall clock for the CLI's elapsed-time report, never feeds simulated state)
-        result = cls(scale=scale, seed=seed).run()
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = cls(scale=scale, seed=seed).run()
+        finally:
+            if profiler is not None:
+                profiler.disable()
         elapsed = time.time() - started  # dd-lint: disable=DD001 (host-side wall clock for the CLI's elapsed-time report, never feeds simulated state)
     finally:
         set_audit_interval(0.0)
@@ -85,13 +105,20 @@ def _run_one(
         attach_latency_report(result, tracer)
         trace_jsonl = to_jsonl(tracer)
         trace_perfetto = to_perfetto(tracer)
+    profile_blob = None
+    if profiler is not None:
+        import marshal
+
+        profiler.create_stats()
+        profile_blob = marshal.dumps(profiler.stats)
     summary = result.summary(plots=plots)
     json_text = None
     if want_json:
         from ..analysis import result_to_json
 
         json_text = result_to_json(result)
-    return name, summary, elapsed, json_text, trace_jsonl, trace_perfetto
+    return (name, summary, elapsed, json_text, trace_jsonl, trace_perfetto,
+            profile_blob)
 
 
 def _emit(args, name: str, summary: str, elapsed: float,
@@ -163,7 +190,9 @@ def main(argv=None) -> int:
                         default=None, metavar="FILE",
                         help="profile the run with cProfile and dump "
                              "pstats to FILE (default profile.pstats); "
-                             "forces --jobs 1")
+                             "with --jobs N each experiment is profiled "
+                             "in its worker and written as "
+                             "<stem>.<rank>.pstats in canonical order")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -213,14 +242,19 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    # Under --jobs, profiling must happen inside the workers (profiling
+    # the pool's parent would only see an idle dispatcher), so the flag
+    # rides along in the task tuple.
+    fan_out = args.jobs > 1 and len(names) > 1
+    profile_in_worker = args.profile is not None and fan_out
     tasks = [(name, args.scale, args.seed, not args.no_plots, args.json,
               args.audit, args.admission,
-              args.trace, args.trace_ops, args.trace_sample)
+              args.trace, args.trace_ops, args.trace_sample,
+              profile_in_worker)
              for name in names]
 
-    if args.profile is not None:
-        # Profiling a process pool would only profile the idle parent;
-        # run serially under cProfile instead.
+    if args.profile is not None and not fan_out:
+        # Serial run: one profiler around everything, one pstats file.
         import cProfile
         import pstats
 
@@ -228,7 +262,7 @@ def main(argv=None) -> int:
         profiler.enable()
         try:
             for task in tasks:
-                _emit(args, *_run_one(task))
+                _emit(args, *_run_one(task)[:6])
         finally:
             profiler.disable()
             profiler.dump_stats(args.profile)
@@ -238,17 +272,37 @@ def main(argv=None) -> int:
         stats.print_stats(10)
         return 0
 
-    if args.jobs > 1 and len(tasks) > 1:
+    if fan_out:
         import multiprocessing as mp
 
-        # imap preserves submission order, so output stays deterministic
-        # no matter which worker finishes first.
+        profile_paths = []
+        base = Path(args.profile) if profile_in_worker else None
+        # imap preserves submission order, so output — and the profile
+        # rank numbering — stays deterministic no matter which worker
+        # finishes first.
         with mp.Pool(processes=min(args.jobs, len(tasks))) as pool:
-            for outcome in pool.imap(_run_one, tasks):
-                _emit(args, *outcome)
+            for rank, outcome in enumerate(pool.imap(_run_one, tasks)):
+                _emit(args, *outcome[:6])
+                if base is not None:
+                    suffix = base.suffix or ".pstats"
+                    path = base.with_name(f"{base.stem}.{rank}{suffix}")
+                    # The blob is marshalled cProfile stats — identical
+                    # bytes to Profile.dump_stats, loadable by pstats.
+                    path.write_bytes(outcome[6])
+                    profile_paths.append(path)
+                    print(f"(profile written to {path})")
+        if profile_paths:
+            import pstats
+
+            stats = pstats.Stats(str(profile_paths[0]))
+            for path in profile_paths[1:]:
+                stats.add(str(path))
+            stats.sort_stats("cumulative")
+            print(f"\ncombined hotspots across {len(profile_paths)} workers:")
+            stats.print_stats(10)
     else:
         for task in tasks:
-            _emit(args, *_run_one(task))
+            _emit(args, *_run_one(task)[:6])
     return 0
 
 

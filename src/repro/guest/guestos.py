@@ -18,6 +18,7 @@ queueing on the virtual disk, the swap device, and the hypervisor cache.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cgroups import Cgroup, CgroupSubsystem
@@ -128,8 +129,18 @@ class GuestOS:
     # ------------------------------------------------------------------
 
     def total_usage_blocks(self) -> int:
-        """RAM charged across all cgroups (anon + file)."""
-        return sum(cg.usage_blocks for cg in self.cgroups)
+        """RAM charged across all cgroups (anon + file).
+
+        Every resident file page is charged to exactly one live cgroup
+        (admission increments, eviction/deletion/teardown decrement in the
+        same step), so the file side equals the page-cache population —
+        summed directly off the index instead of walking per-cgroup
+        property chains, since reclaim re-checks this bound per batch.
+        """
+        total = len(self.pagecache.entries)
+        for cgroup in self.cgroups:
+            total += len(cgroup.anon.resident)
+        return total
 
     def set_memory_blocks(self, blocks: int) -> None:
         """Balloon the VM's usable memory (reclaim is the caller's job —
@@ -163,25 +174,45 @@ class GuestOS:
                   nblocks: Optional[int] = None):
         """Read a block range through the page cache; returns IOResult."""
         result = IOResult()
-        t0 = self.env.now
-        keys = file.keys(start, nblocks)
-        nkeys = len(keys)
+        env = self.env
+        t0 = env._now
+        inode = file.inode
+        end = file.nblocks if nblocks is None else min(file.nblocks, start + nblocks)
+        nkeys = end - start if end > start else 0
         result.blocks = nkeys
-        # Hot loop (every read of every workload thread): bind the lookup
-        # and derive the counters from the miss list instead of bumping
-        # stats attributes per block.
-        lookup = self.pagecache.lookup
-        misses: List[BlockKey] = [key for key in keys if lookup(key) is None]
+        # Hot loop (every read of every workload thread): one fused sweep
+        # that builds keys, hit-tests, and bumps LRU/seq with everything
+        # bound to locals — the per-block method chain (File.keys +
+        # PageCache.lookup + SeqCounter) costs more than the work itself.
+        pagecache = self.pagecache
+        entries_get = pagecache.entries.get
+        lrus = pagecache.lrus
+        seq_counter = pagecache.seq
+        seq = seq_counter.value
+        misses: List[BlockKey] = []
+        miss = misses.append
+        for block in range(start, end):
+            key = (inode, block)
+            entry = entries_get(key)
+            if entry is None:
+                miss(key)
+            else:
+                seq += 1
+                entry.seq = seq
+                lrus[entry.cgroup_id].move_to_end(key)
+        seq_counter.value = seq
         hits = nkeys - len(misses)
-        self.stats.pc_lookups += nkeys
-        self.stats.pc_hits += hits
+        stats = self.stats
+        stats.pc_lookups += nkeys
+        stats.pc_hits += hits
         result.pc_hits = hits
         if hits:
-            yield self.env.timeout(self._copy_cost(hits))
-        misses.extend(self._readahead_keys(file, start, len(keys)))
+            yield env.timeout(self._copy_cost(hits))
+        if self.readahead_blocks > 0:
+            misses.extend(self._readahead_keys(file, start, nkeys))
         if misses:
             yield from self._fill_misses(cgroup, file, misses, result)
-        result.latency = self.env.now - t0
+        result.latency = env._now - t0
         return result
 
     def _readahead_keys(self, file: File, start: int, count: int) -> List[BlockKey]:
@@ -241,24 +272,45 @@ class GuestOS:
                    nblocks: Optional[int] = None, sync: bool = False):
         """Write a block range (buffered unless ``sync``); returns IOResult."""
         result = IOResult()
-        t0 = self.env.now
-        keys = file.keys(start, nblocks)
-        result.blocks = len(keys)
+        env = self.env
+        t0 = env._now
+        inode = file.inode
+        end = file.nblocks if nblocks is None else min(file.nblocks, start + nblocks)
+        nkeys = end - start if end > start else 0
+        result.blocks = nkeys
+        # Fused key-build + lookup + mark_dirty sweep (see read_file).
+        pagecache = self.pagecache
+        entries_get = pagecache.entries.get
+        lrus = pagecache.lrus
+        seq_counter = pagecache.seq
+        dirty_index = pagecache.dirty
+        seq = seq_counter.value
+        now = t0
         fresh: List[BlockKey] = []
-        now = self.env.now
-        for key in keys:
-            entry = self.pagecache.lookup(key)
-            if entry is not None:
-                result.pc_hits += 1
-                self.pagecache.mark_dirty(entry, now)
+        add = fresh.append
+        pc_hits = 0
+        for block in range(start, end):
+            key = (inode, block)
+            entry = entries_get(key)
+            if entry is None:
+                add(key)
             else:
-                fresh.append(key)
+                pc_hits += 1
+                seq += 1
+                entry.seq = seq
+                lrus[entry.cgroup_id].move_to_end(key)
+                if not entry.dirty:
+                    entry.dirty = True
+                    entry.dirty_since = now
+                    dirty_index[key] = entry
+        seq_counter.value = seq
+        result.pc_hits = pc_hits
         if fresh:
             # The hypervisor cache may hold stale copies of blocks we are
             # about to overwrite without reading: invalidate them.
             yield from self.cleancache.flush_many(cgroup.pool_id, fresh)
             yield from self._admit_pages(cgroup, fresh, dirty=True)
-        yield self.env.timeout(self._copy_cost(len(keys)))
+        yield env.timeout(self._copy_cost(nkeys))
         if sync:
             yield from self.fsync(cgroup, file)
         result.latency = self.env.now - t0
@@ -351,20 +403,39 @@ class GuestOS:
         pagecache = self.pagecache
         resident = pagecache.entries
         pending = [key for key in keys if key not in resident]
-        insert = pagecache.insert
+        if not pending:
+            return
+        # PageCache.insert/mark_dirty inlined (same state transitions):
+        # admission is the second-hottest guest loop and the fresh entry
+        # is known clean, so the dirty branch needs no ``if not dirty``
+        # re-check and the LRU/seq plumbing binds to locals once.
+        lrus = pagecache.lrus
+        seq_counter = pagecache.seq
+        dirty_index = pagecache.dirty
         cgroup_id = cgroup.cgroup_id
+        lru = lrus.get(cgroup_id)
         for base in range(0, len(pending), RECLAIM_BATCH):
             chunk = pending[base:base + RECLAIM_BATCH]
             yield from self._reclaim_for(cgroup, len(chunk))
-            now = self.env.now
+            now = self.env._now
             admitted = 0
             for key in chunk:
                 if key in resident:  # racing thread admitted it already
                     continue
-                entry = insert(key, cgroup_id)
+                seq = seq_counter.value + 1
+                seq_counter.value = seq
+                entry = PageEntry(key[0], key[1], cgroup_id, seq)
+                resident[key] = entry
+                if lru is None:
+                    lru = lrus.get(cgroup_id)
+                    if lru is None:
+                        lru = lrus[cgroup_id] = OrderedDict()
+                lru[key] = entry
                 admitted += 1
                 if dirty:
-                    pagecache.mark_dirty(entry, now)
+                    entry.dirty = True
+                    entry.dirty_since = now
+                    dirty_index[key] = entry
             cgroup.file_blocks += admitted
 
     def _reclaim_for(self, cgroup: Cgroup, need: int):

@@ -47,32 +47,30 @@ class Container:
 
     # -- IO (generators) -----------------------------------------------------
 
+    # Each method returns the GuestOS generator directly instead of
+    # wrapping it in a delegating `yield from` frame: semantics are
+    # identical for `yield from` / `env.process`, but every resume of a
+    # wrapped generator pays one frame hop per delegation level, and
+    # these run once per workload op.
+
     def read(self, file: File, start: int = 0, nblocks: Optional[int] = None):
-        result = yield from self.vm.os.read_file(self.cgroup, file, start, nblocks)
-        return result
+        return self.vm.os.read_file(self.cgroup, file, start, nblocks)
 
     def write(self, file: File, start: int = 0, nblocks: Optional[int] = None,
               sync: bool = False):
-        result = yield from self.vm.os.write_file(
-            self.cgroup, file, start, nblocks, sync=sync
-        )
-        return result
+        return self.vm.os.write_file(self.cgroup, file, start, nblocks, sync=sync)
 
     def append(self, file: File, nblocks: int, sync: bool = False):
-        result = yield from self.vm.os.append_file(self.cgroup, file, nblocks, sync)
-        return result
+        return self.vm.os.append_file(self.cgroup, file, nblocks, sync)
 
     def fsync(self, file: File):
-        written = yield from self.vm.os.fsync(self.cgroup, file)
-        return written
+        return self.vm.os.fsync(self.cgroup, file)
 
     def delete(self, file: File):
-        removed = yield from self.vm.os.delete_file(self.cgroup, file)
-        return removed
+        return self.vm.os.delete_file(self.cgroup, file)
 
     def touch_anon(self, pages):
-        faults = yield from self.vm.os.touch_anon(self.cgroup, pages)
-        return faults
+        return self.vm.os.touch_anon(self.cgroup, pages)
 
     # -- policy control (the VM-level controller) ------------------------------
 

@@ -1,4 +1,4 @@
-"""sim-lint rule catalog: DD001..DD008.
+"""sim-lint rule catalog: DD001..DD009.
 
 Each rule defends one determinism or invariant property the reproduction
 relies on (see docs/LINTING.md for the full catalog with examples):
@@ -10,7 +10,8 @@ relies on (see docs/LINTING.md for the full catalog with examples):
 * DD005 — mutable default arguments;
 * DD006 — tracer calls missing the ``if tracer is not None`` zero-cost guard;
 * DD007 — bare/swallowed exception handlers;
-* DD008 — stats-counter writes that bypass the put-outcome ledger.
+* DD008 — stats-counter writes that bypass the put-outcome ledger;
+* DD009 — linear-time list operations in hot-path modules.
 
 The TC001 typed-core gate (annotation completeness over
 ``repro.core.victim`` / ``repro.core.radix``) is registered alongside
@@ -624,6 +625,164 @@ class LedgerBypassRule(Rule):
                         f"'puts == stored + rejected_*' stays exact")
 
 
+# -- DD009 -------------------------------------------------------------------
+
+#: Module prefixes on the per-event data path, where an O(n) list
+#: operation compounds into O(n^2) over a run.
+HOT_PATH_PREFIXES = ("simkernel/", "core/", "guest/", "cleancache/", "mem/")
+
+#: Hot-prefix modules exempt from DD009: the auditor's reference models
+#: are deliberately brute-force (plain lists, ``remove``/``pop(0)``) so
+#: differential tests compare against the simplest possible restatement.
+HOT_PATH_EXEMPT = {"core/audit.py"}
+
+_LIST_CALLS = {"list", "sorted"}
+
+
+class LinearListOpRule(Rule):
+    rule_id = "DD009"
+    title = "linear-time list operation in a hot-path module"
+    rationale = (
+        "The per-event data path (kernel, pools, cache manager, guest "
+        "page cache) runs millions of times per experiment; list.pop(0), "
+        "'x in <list>' membership, and per-element 'del list[i]' are all "
+        "O(n) and compound into O(n^2) run time. Use a deque, a dict/set "
+        "index, or the flat BlockTable slab instead."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.in_sim_code:
+            return
+        tail = ctx.module_tail()
+        if tail in HOT_PATH_EXEMPT or not tail.startswith(HOT_PATH_PREFIXES):
+            return
+        parents = _parents(ctx.tree)
+        list_attrs = self._list_valued_attrs(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_pop_front(ctx, node, parents, list_attrs)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_membership(ctx, node, parents, list_attrs)
+            elif isinstance(node, ast.Delete):
+                yield from self._check_del(ctx, node, parents, list_attrs)
+
+    # -- list-typed receiver inference (mirrors DD003's set inference) ---
+
+    @staticmethod
+    def _is_list_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in _LIST_CALLS
+        return False
+
+    @staticmethod
+    def _enclosing_function(node: ast.AST, parents: Dict[int, ast.AST]
+                            ) -> Optional[ast.AST]:
+        for ancestor in _ancestors(node, parents):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def _list_valued_locals(self, node: ast.AST,
+                            parents: Dict[int, ast.AST]) -> Set[str]:
+        func = self._enclosing_function(node, parents)
+        if func is None:
+            return set()
+        names: Set[str] = set()
+        for stmt in ast.walk(func):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_list_expr(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _list_valued_attrs(self, tree: ast.AST) -> Set[str]:
+        attrs: Set[str] = set()
+        for stmt in ast.walk(tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_list_expr(value):
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+        return attrs
+
+    def _is_known_list(self, expr: ast.expr, node: ast.AST,
+                       parents: Dict[int, ast.AST],
+                       list_attrs: Set[str]) -> Optional[str]:
+        """Spelled receiver if ``expr`` is list-valued by local inference."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self._list_valued_locals(node, parents):
+                return expr.id
+        elif (isinstance(expr, ast.Attribute)
+              and isinstance(expr.value, ast.Name)
+              and expr.value.id == "self" and expr.attr in list_attrs):
+            return f"self.{expr.attr}"
+        return None
+
+    # -- the three flagged shapes ----------------------------------------
+
+    def _check_pop_front(self, ctx: LintContext, node: ast.Call,
+                         parents: Dict[int, ast.AST],
+                         list_attrs: Set[str]) -> Iterator[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "pop"
+                and len(node.args) == 1 and not node.keywords):
+            return
+        arg = node.args[0]
+        if not (isinstance(arg, ast.Constant) and arg.value == 0):
+            return
+        recv = self._is_known_list(func.value, node, parents, list_attrs)
+        if recv is not None:
+            yield self.finding(
+                ctx, node,
+                f"{recv}.pop(0) shifts every remaining element — O(n) per "
+                f"event; use collections.deque.popleft() or an index cursor")
+
+    def _check_membership(self, ctx: LintContext, node: ast.Compare,
+                          parents: Dict[int, ast.AST],
+                          list_attrs: Set[str]) -> Iterator[Finding]:
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            recv = self._is_known_list(comparator, node, parents, list_attrs)
+            if recv is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"membership test against list {recv!r} scans linearly — "
+                    f"O(n) per event; keep a set/dict alongside the list")
+
+    def _check_del(self, ctx: LintContext, node: ast.Delete,
+                   parents: Dict[int, ast.AST],
+                   list_attrs: Set[str]) -> Iterator[Finding]:
+        for target in node.targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            if isinstance(target.slice, ast.Slice):
+                continue  # del lst[:] and friends are wholesale, not per-element
+            recv = self._is_known_list(target.value, node, parents, list_attrs)
+            if recv is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"del {recv}[i] shifts every element past i — O(n) per "
+                    f"event; swap-with-last, tombstone, or use a dict index")
+
+
 # -- registry ----------------------------------------------------------------
 
 def _build_rules() -> List[Rule]:
@@ -638,6 +797,7 @@ def _build_rules() -> List[Rule]:
         UnguardedTracerRule(),
         SwallowedErrorRule(),
         LedgerBypassRule(),
+        LinearListOpRule(),
         TypedCoreRule(),
     ]
 

@@ -11,10 +11,12 @@ from .events import AllOf, AnyOf, ConditionEvent, Event, Interrupt, Timeout
 from .process import Process
 from .resources import Request, Resource, TokenBucket
 from .rng import RandomStreams, zipf_ranks
+from .timeline import CalendarTimeline
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarTimeline",
     "ConditionEvent",
     "EmptySchedule",
     "Environment",

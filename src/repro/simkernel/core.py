@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import heapq
 from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, Optional
 
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
+from .timeline import CalendarTimeline
 
 __all__ = ["Environment", "StopSimulation", "EmptySchedule"]
 
@@ -38,7 +38,10 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._timeline = CalendarTimeline(self._now)
+        #: Bound push method; the event classes enqueue through this to
+        #: skip two attribute hops on the hottest call in the kernel.
+        self._push = self._timeline.push
         self._eid = count()
         self._active_process: Optional[Process] = None
 
@@ -82,20 +85,18 @@ class Environment:
         self, event: Event, delay: float = 0.0, priority: int = NORMAL
     ) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._push((self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._timeline.peek_time()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        entry = self._timeline.pop()
+        if entry is None:
+            raise EmptySchedule()
+        self._now, _, _, event = entry
 
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
@@ -141,14 +142,16 @@ class Environment:
 
         # The loop below is `step()` inlined: the per-event work is tiny
         # (often one callback), so the method call and attribute lookups
-        # per event dominate.  Binding `heappop` and the queue to locals
-        # and testing emptiness directly instead of catching IndexError
-        # cuts the kernel's fixed per-event cost by roughly a third.
-        queue = self._queue
-        pop = heapq.heappop
+        # per event dominate.  The timeline's pop is bound to a local and
+        # signals exhaustion with None, which is cheaper to test per event
+        # than catching IndexError.
+        pop = self._timeline.pop
         try:
-            while queue:
-                self._now, _, _, event = pop(queue)
+            while True:
+                entry = pop()
+                if entry is None:
+                    break
+                self._now, _, _, event = entry
 
                 callbacks = event.callbacks
                 event.callbacks = None  # mark processed

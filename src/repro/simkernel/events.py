@@ -22,7 +22,6 @@ condition events.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -123,7 +122,7 @@ class Event:
         # Inlined env.schedule(self): triggering is the kernel's hottest
         # entry point, so skip the method call and delay arithmetic.
         env = self.env
-        _heappush(env._queue, (env._now, _NORMAL, next(env._eid), self))
+        env._push((env._now, _NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -139,7 +138,7 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        _heappush(env._queue, (env._now, _NORMAL, next(env._eid), self))
+        env._push((env._now, _NORMAL, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -177,7 +176,7 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        _heappush(env._queue, (env._now + delay, _NORMAL, next(env._eid), self))
+        env._push((env._now + delay, _NORMAL, next(env._eid), self))
 
 
 class ConditionEvent(Event):

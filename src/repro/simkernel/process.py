@@ -27,7 +27,7 @@ class Process(Event):
     generator at its current wait point.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self,
@@ -39,6 +39,10 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound methods for the resume hot path (one attribute hop saved
+        # per generator advance, ~1M+ advances per simulated minute).
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process currently waits on (``None`` when running
         #: or finished).
         self._target: Optional[Event] = None
@@ -85,24 +89,25 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
                 # Mark the failure as handled: it is being delivered.
                 event.defuse()
-                next_event = self._generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(next_event, Event):
             error = RuntimeError(

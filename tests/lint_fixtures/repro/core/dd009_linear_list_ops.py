@@ -1,0 +1,53 @@
+"""DD009 fixture: linear-time list operations in a hot-path module.
+
+Five findings expected: two ``pop(0)`` (local + self attribute), two
+membership tests (``in`` / ``not in``), one per-element ``del``.
+The negative cases at the bottom must stay silent.
+"""
+
+from collections import deque
+
+
+class EventQueue:
+    def __init__(self):
+        self.pending = []
+        self.ready = deque()
+
+    def next_pending(self):
+        return self.pending.pop(0)  # BAD: O(n) front pop on a list attr
+
+    def next_ready(self):
+        return self.ready.popleft()  # OK: deque popleft is O(1)
+
+
+def drain(n):
+    backlog = [object() for _ in range(n)]
+    while backlog:
+        backlog.pop(0)  # BAD: O(n) front pop on a local list
+
+
+def admit(key, resident_keys_hint):
+    cached = list(resident_keys_hint)
+    if key in cached:  # BAD: linear membership scan of a list
+        return False
+    seen = {}
+    if key not in seen:  # OK: dict membership is O(1)
+        seen[key] = True
+    hot = [k for k in cached if k]
+    return key not in hot  # BAD: linear membership scan of a list
+
+
+def compact(entries):
+    live = sorted(entries)
+    index = {}
+    while live:
+        del live[0]  # BAD: per-element del shifts the tail
+    del live[:]  # OK: slice delete is wholesale, not per-element
+    if index:
+        del index["gone"]  # OK: dict delete is O(1)
+    return live
+
+
+def unknown_receiver(queue):
+    # OK: ``queue`` is a parameter of unknown type; no inference, no finding.
+    return queue.pop(0)

@@ -34,6 +34,7 @@ class RuleFiringTests(unittest.TestCase):
         ("dd006_unguarded_tracer.py", "DD006", 2),
         ("dd007_swallowed_errors.py", "DD007", 3),
         ("dd008_ledger_bypass.py", "DD008", 3),
+        ("core/dd009_linear_list_ops.py", "DD009", 5),
         ("core/victim.py", "TC001", 2),
     ]
 

@@ -226,3 +226,27 @@ class TestParallelRunner:
         assert out.exists()
         stats = pstats.Stats(str(out))
         assert stats.total_calls > 0
+
+    @pytest.mark.slow
+    def test_profile_with_jobs_writes_per_worker_pstats(self, tmp_path, capsys):
+        """--profile --jobs N profiles each experiment in its worker and
+        writes <stem>.<rank>.pstats ranked in canonical order."""
+        import pstats
+
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "hot.pstats"
+        code = main(["motivation,dynamic_containers", "--scale", "0.05",
+                     "--no-plots", "--jobs", "2", "--profile", str(out)])
+        assert code == 0
+        assert not out.exists()  # per-rank files replace the single dump
+        ranked = [tmp_path / "hot.0.pstats", tmp_path / "hot.1.pstats"]
+        for path in ranked:
+            assert path.exists(), path.name
+            stats = pstats.Stats(str(path))
+            assert stats.total_calls > 0
+        # Rank order is canonical (submission) order: rank 0 profiled the
+        # first-named experiment, whose runner shows up in its stats.
+        stats0 = pstats.Stats(str(ranked[0]))
+        files0 = {func[0] for func in stats0.stats}
+        assert any(f.endswith("motivation.py") for f in files0)

@@ -1,0 +1,241 @@
+"""Calendar-queue timeline tests.
+
+The calendar queue replaced the binary heap as the kernel's event
+queue; fixed-seed fingerprints depend on its pop order being *exactly*
+the tuple-lexicographic order heapq produced.  These tests pin the
+equivalence: same-tick FIFO ordering, cancellation behaviour at the
+kernel level, bucket rollover, far-future overflow spill/refill, and a
+randomized 100k-event differential against a heapq reference.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.simkernel.core import Environment, NORMAL, URGENT
+from repro.simkernel.timeline import CalendarTimeline, DEFAULT_TICK
+
+
+def drain(timeline):
+    """Pop everything, returning the entries in pop order."""
+    out = []
+    while True:
+        entry = timeline.pop()
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+class TestSameTickFifo:
+    def test_ties_pop_in_eid_order(self):
+        """Same (time, priority) entries pop FIFO by insertion id."""
+        tl = CalendarTimeline(tick=1.0)
+        entries = [(0.5, NORMAL, eid, object()) for eid in range(32)]
+        shuffled = entries[:]
+        random.Random(7).shuffle(shuffled)
+        # eids are assigned at push time in the kernel, so push in eid
+        # order (shuffling the *objects* but keeping eid monotone).
+        for entry in sorted(shuffled, key=lambda e: e[2]):
+            tl.push(entry)
+        assert drain(tl) == entries
+
+    def test_urgent_overtakes_pending_normal_same_time(self):
+        """An urgent push while draining lands before queued normal
+        entries of the same time — exactly as in the heap."""
+        tl = CalendarTimeline(tick=1.0)
+        normals = [(0.25, NORMAL, eid, "n") for eid in range(4)]
+        for entry in normals:
+            tl.push(entry)
+        first = tl.pop()
+        assert first == normals[0]
+        urgent = (0.25, URGENT, 99, "u")
+        tl.push(urgent)  # same tick as the bucket being drained
+        assert tl.pop() == urgent
+        assert drain(tl) == normals[1:]
+
+    def test_priority_orders_within_tick(self):
+        tl = CalendarTimeline(tick=1.0)
+        a = (0.5, URGENT, 1, "a")
+        b = (0.5, NORMAL, 0, "b")
+        tl.push(b)
+        tl.push(a)
+        assert drain(tl) == [a, b]
+
+    def test_len_and_bool(self):
+        tl = CalendarTimeline(tick=1.0)
+        assert not tl and len(tl) == 0
+        tl.push((0.0, NORMAL, 0, None))
+        tl.push((5.0, NORMAL, 1, None))
+        assert tl and len(tl) == 2
+        tl.pop()
+        assert len(tl) == 1
+        tl.pop()
+        assert tl.pop() is None and len(tl) == 0
+
+
+class TestCancellation:
+    def test_interrupt_orphans_timeout_without_reordering(self):
+        """Interrupting a process leaves its timeout in the queue; the
+        orphaned entry fires with no callbacks and the clock still
+        advances through it in order."""
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(10.0)
+                log.append(("woke", env.now))
+            except Exception:
+                log.append(("interrupted", env.now))
+                yield env.timeout(0.5)
+                log.append(("resumed", env.now))
+
+        def other():
+            yield env.timeout(3.0)
+            log.append(("other", env.now))
+
+        proc = env.process(sleeper())
+        env.process(other())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            proc.interrupt("stop")
+
+        env.process(interrupter())
+        env.run(until=20.0)
+        assert log == [
+            ("interrupted", 1.0),
+            ("resumed", 1.5),
+            ("other", 3.0),
+        ]
+        assert env.now == 20.0
+
+    def test_processed_events_pop_as_inert_entries(self):
+        """A popped entry whose event was already processed (callbacks
+        None) is simply inert — the timeline itself never skips or
+        reorders anything."""
+        tl = CalendarTimeline(tick=1.0)
+        sentinel = object()
+        entries = [(float(i), NORMAL, i, sentinel) for i in range(5)]
+        for entry in entries:
+            tl.push(entry)
+        assert drain(tl) == entries
+
+
+class TestRollover:
+    def test_pops_cross_bucket_boundaries_in_time_order(self):
+        tl = CalendarTimeline(tick=1.0)
+        entries = [(float(i) + 0.5, NORMAL, i, None) for i in range(20)]
+        shuffled = entries[:]
+        random.Random(3).shuffle(shuffled)
+        for entry in sorted(shuffled, key=lambda e: e[2]):
+            tl.push(entry)
+        assert drain(tl) == entries
+
+    def test_push_into_current_bucket_while_draining(self):
+        tl = CalendarTimeline(tick=1.0)
+        tl.push((0.1, NORMAL, 0, None))
+        tl.push((0.9, NORMAL, 1, None))
+        assert tl.pop() == (0.1, NORMAL, 0, None)
+        # Lands between the pending 0.9 entry and the already-popped one.
+        tl.push((0.5, NORMAL, 2, None))
+        assert tl.pop() == (0.5, NORMAL, 2, None)
+        assert tl.pop() == (0.9, NORMAL, 1, None)
+
+    def test_sparse_buckets_skip_empty_ticks(self):
+        tl = CalendarTimeline(tick=1.0)
+        far = [(1000.0, NORMAL, 0, None), (5000.0, NORMAL, 1, None)]
+        for entry in far:
+            tl.push(entry)
+        assert drain(tl) == far
+
+
+class TestOverflow:
+    def test_far_future_entries_spill_and_refill(self):
+        tl = CalendarTimeline(tick=1.0, horizon=4)
+        near = (0.5, NORMAL, 0, None)
+        far = (100.5, NORMAL, 1, None)  # beyond the 4-tick window
+        tl.push(far)
+        tl.push(near)
+        assert len(tl._overflow) == 1
+        assert tl.pop() == near
+        assert tl.pop() == far  # refilled on rollover
+        assert not tl._overflow
+        assert tl.pop() is None
+
+    def test_overflow_merges_with_later_in_window_push(self):
+        """An entry overflows based on the window *at push time*; a later
+        push can target the same tick through the bucket dict.  The two
+        sources must merge into one sorted bucket."""
+        tl = CalendarTimeline(tick=1.0, horizon=4)
+        late = (10.7, NORMAL, 0, None)
+        tl.push(late)  # tick 10 is past the initial 4-tick window
+        stepper = (6.0, NORMAL, 1, None)
+        tl.push(stepper)
+        assert tl.pop() == stepper  # window now reaches tick 10
+        early_same_tick = (10.2, NORMAL, 2, None)
+        tl.push(early_same_tick)  # same tick, via the bucket dict
+        assert tl.pop() == early_same_tick
+        assert tl.pop() == late
+
+    def test_peek_time_sees_all_three_sources(self):
+        tl = CalendarTimeline(tick=1.0, horizon=4)
+        assert tl.peek_time() == float("inf")
+        tl.push((50.0, NORMAL, 0, None))  # overflow
+        assert tl.peek_time() == 50.0
+        tl.push((2.5, NORMAL, 1, None))  # future bucket
+        assert tl.peek_time() == 2.5
+        tl.push((0.25, NORMAL, 2, None))  # current bucket
+        assert tl.peek_time() == 0.25
+        tl.pop()
+        assert tl.peek_time() == 2.5
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CalendarTimeline(tick=0.0)
+        with pytest.raises(ValueError):
+            CalendarTimeline(horizon=0)
+
+
+class TestHeapDifferential:
+    N_EVENTS = 100_000
+
+    @pytest.mark.slow
+    def test_pop_order_identical_to_heapq_on_100k_events(self):
+        """Randomized push/pop mix: the calendar queue must reproduce
+        heapq's pop order exactly over 100k seeded events with a
+        forward-moving clock and delays spanning sub-tick to far beyond
+        the overflow horizon."""
+        rng = random.Random(0xDD)
+        tl = CalendarTimeline(tick=DEFAULT_TICK, horizon=256)
+        heap = []
+        now = 0.0
+        eid = 0
+        pushed = popped = 0
+        while pushed < self.N_EVENTS or heap:
+            do_push = pushed < self.N_EVENTS and (not heap or rng.random() < 0.55)
+            if do_push:
+                roll = rng.random()
+                if roll < 0.30:
+                    delay = 0.0  # same-instant trigger
+                elif roll < 0.80:
+                    delay = rng.random() * DEFAULT_TICK * 4  # hot band
+                elif roll < 0.95:
+                    delay = rng.random() * DEFAULT_TICK * 128  # device band
+                else:
+                    delay = rng.random() * DEFAULT_TICK * 100_000  # overflow
+                prio = URGENT if rng.random() < 0.05 else NORMAL
+                entry = (now + delay, prio, eid, None)
+                eid += 1
+                tl.push(entry)
+                heapq.heappush(heap, entry)
+                pushed += 1
+            else:
+                expected = heapq.heappop(heap)
+                got = tl.pop()
+                assert got == expected, f"divergence at pop {popped}"
+                now = got[0]
+                popped += 1
+        assert tl.pop() is None
+        assert popped == pushed == self.N_EVENTS
