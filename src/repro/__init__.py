@@ -33,6 +33,7 @@ from .core import (
     StaticPartitionCache,
     StoreKind,
 )
+from .fleet import Fleet, NetworkModel
 from .hypervisor import Host, HostSpec
 from .guest import Container, VirtualMachine
 from .storage import HDDSpec, MemSpec, SSDSpec
@@ -44,11 +45,13 @@ __all__ = [
     "Container",
     "DDConfig",
     "DoubleDeckerCache",
+    "Fleet",
     "GlobalCache",
     "HDDSpec",
     "Host",
     "HostSpec",
     "MemSpec",
+    "NetworkModel",
     "NullCache",
     "SSDSpec",
     "SimContext",

@@ -45,6 +45,9 @@ class CleancacheClient:
         self.channel = HypercallChannel(env, costs or HypercallCosts())
         #: Kill switch: a guest kernel booted without cleancache support.
         self.enabled = enabled
+        #: Histogram-name prefix for per-host breakdowns in a fleet
+        #: (e.g. ``"host2."``); empty outside one, leaving names unchanged.
+        self.obs_scope = ""
 
     # -- control path (cgroup events) ------------------------------------------
 
@@ -96,7 +99,8 @@ class CleancacheClient:
         yield from self.channel.charge_data(len(keys), payload)
         if tracer is not None:
             tracer.op_span("get", self.vm_id, pool_id, t0, self.env.now,
-                           keys=len(keys), hits=len(found))
+                           scope=self.obs_scope, keys=len(keys),
+                           hits=len(found))
         return found
 
     def put_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
@@ -112,7 +116,8 @@ class CleancacheClient:
         yield from self.channel.charge_data(len(keys), payload)
         if tracer is not None:
             tracer.op_span("put", self.vm_id, pool_id, t0, self.env.now,
-                           keys=len(keys), stored=stored)
+                           scope=self.obs_scope, keys=len(keys),
+                           stored=stored)
         return stored
 
     def flush_many(self, pool_id: Optional[int], keys: Sequence[BlockKey]):
@@ -127,20 +132,28 @@ class CleancacheClient:
         yield from self.channel.charge_control(len(keys))
         if tracer is not None:
             tracer.op_span("flush", self.vm_id, pool_id, t0, self.env.now,
-                           keys=len(keys), dropped=dropped)
+                           scope=self.obs_scope, keys=len(keys),
+                           dropped=dropped)
         return dropped
 
-    def flush_inode(self, pool_id: Optional[int], inode: int):
-        """Invalidate a whole file; returns #dropped."""
+    def flush_inode(self, pool_id: Optional[int], inode: int,
+                    nblocks: Optional[int] = None):
+        """Invalidate a whole file; returns #dropped.
+
+        ``nblocks`` (the file's size as the guest knows it) feeds the
+        requested-flush accounting; see ``HypervisorCacheBase.flush_inode``.
+        """
         if not self.enabled or pool_id is None:
             return 0
         tracer = _obs.ACTIVE
         if tracer is not None:
             tracer.span_begin()
             t0 = self.env.now
-        dropped = self.hvcache.flush_inode(self.vm_id, pool_id, inode)
+        dropped = self.hvcache.flush_inode(self.vm_id, pool_id, inode,
+                                           nblocks=nblocks)
         yield from self.channel.charge_control(1)
         if tracer is not None:
             tracer.op_span("flush_inode", self.vm_id, pool_id, t0,
-                           self.env.now, inode=inode, dropped=dropped)
+                           self.env.now, scope=self.obs_scope, inode=inode,
+                           dropped=dropped)
         return dropped

@@ -31,7 +31,9 @@ from .audit import (
     ReferenceGlobalCache,
     ReferenceStaticCache,
     assert_consistent,
+    assert_host_clean,
     check_cache,
+    check_host,
     global_audit_interval,
     set_audit_interval,
     start_periodic_audit,
@@ -63,7 +65,9 @@ __all__ = [
     "ReferenceGlobalCache",
     "ReferenceStaticCache",
     "assert_consistent",
+    "assert_host_clean",
     "check_cache",
+    "check_host",
     "global_audit_interval",
     "set_audit_interval",
     "start_periodic_audit",

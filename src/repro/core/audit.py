@@ -50,7 +50,9 @@ from ..storage import MB
 __all__ = [
     "InvariantViolation",
     "check_cache",
+    "check_host",
     "assert_consistent",
+    "assert_host_clean",
     "set_audit_interval",
     "global_audit_interval",
     "start_periodic_audit",
@@ -128,6 +130,72 @@ def assert_consistent(cache, where: str = "") -> None:
     violations = check_cache(cache)
     if violations:
         header = f"cache audit failed ({where})" if where else "cache audit failed"
+        body = "\n".join(f"  - {violation}" for violation in violations)
+        raise InvariantViolation(f"{header}:\n{body}")
+
+
+def check_host(host) -> List[str]:
+    """Host-level residue audit: destroyed VMs must leave zero residue.
+
+    Checks (duck-typed so :mod:`repro.core` needs no hypervisor import):
+
+    * the hypervisor cache knows exactly the host's live VMs — a
+      destroyed VM's registration (pools, FIFO slabs, dedup charges)
+      must be gone, a live one's must exist;
+    * every cached per-VM RNG stream belongs to a live VM — the
+      ``vm.<name>.reclaim`` entry is dropped with the VM;
+    * virtual-disk address space is conserved: live VMs plus the
+      free-list of retired region bases account for every region the
+      allocator ever handed out, with no base issued twice.
+
+    Includes a full :func:`check_cache` of the installed cache, so a
+    create/destroy churn loop can assert the whole stack in one call.
+    """
+    violations = check_cache(host.hvcache)
+    live_ids = {vm.vm_id for vm in host.vms.values()}
+    registered = getattr(host.hvcache, "vms", None)
+    if isinstance(registered, dict):
+        ghost = sorted(set(registered) - live_ids)
+        missing = sorted(live_ids - set(registered))
+        if ghost:
+            violations.append(
+                f"hypervisor cache still registers destroyed vm ids {ghost}"
+            )
+        if missing:
+            violations.append(
+                f"live vm ids {missing} missing from the hypervisor cache"
+            )
+    live_names = set(host.vms)
+    for stream_name in host.streams._streams:
+        if not stream_name.startswith("vm."):
+            continue
+        owner = stream_name[3:].rsplit(".", 1)[0]
+        if owner not in live_names:
+            violations.append(
+                f"RNG stream {stream_name!r} survives its destroyed VM"
+            )
+    live_bases = {vm.disk_base_block for vm in host.vms.values()}
+    free_bases = set(host._free_disk_bases)
+    if len(host._free_disk_bases) != len(free_bases):
+        violations.append("virtual-disk free list holds duplicate bases")
+    if live_bases & free_bases:
+        violations.append(
+            f"virtual-disk bases {sorted(live_bases & free_bases)} are "
+            f"both live and on the free list"
+        )
+    if len(live_bases) + len(free_bases) != host._vm_count:
+        violations.append(
+            f"virtual-disk regions leak: {host._vm_count} allocated but "
+            f"{len(live_bases)} live + {len(free_bases)} free"
+        )
+    return violations
+
+
+def assert_host_clean(host, where: str = "") -> None:
+    """Raise :class:`InvariantViolation` on any host-level residue."""
+    violations = check_host(host)
+    if violations:
+        header = f"host audit failed ({where})" if where else "host audit failed"
         body = "\n".join(f"  - {violation}" for violation in violations)
         raise InvariantViolation(f"{header}:\n{body}")
 
@@ -276,6 +344,26 @@ def _check_doubledecker(cache) -> List[str]:
             violations.append(
                 f"memory store over capacity: {cache.used[_MEMORY]} > "
                 f"{cache.capacities[_MEMORY]} blocks"
+            )
+
+    # -- lending conservation -------------------------------------------
+    # The effective store size must equal owned capacity adjusted by the
+    # fleet coordinator's grants; outside a fleet all grants are zero and
+    # this reduces to capacities == _base_capacity.
+    for kind in _KINDS:
+        lend_in = cache.lend_in[kind]
+        lend_out = cache.lend_out[kind]
+        expected = cache._base_capacity[kind] + lend_in - lend_out
+        if cache.capacities[kind] != expected:
+            violations.append(
+                f"lending accounting broken for {kind}: effective capacity "
+                f"{cache.capacities[kind]} != base "
+                f"{cache._base_capacity[kind]} + in {lend_in} - out {lend_out}"
+            )
+        if lend_in < 0 or lend_out < 0 or lend_out > cache._base_capacity[kind]:
+            violations.append(
+                f"lend grants out of range for {kind}: in {lend_in}, "
+                f"out {lend_out} of base {cache._base_capacity[kind]}"
             )
 
     # -- memory units / dedup ground truth ------------------------------
@@ -504,7 +592,7 @@ def _new_stats() -> Dict[str, int]:
     return {
         "gets": 0, "get_hits": 0, "puts": 0, "puts_stored": 0,
         "flushes": 0, "flush_requests": 0, "evictions": 0,
-        "migrated_in": 0, "migrated_out": 0,
+        "migrated_in": 0, "migrated_out": 0, "migrated_rejected": 0,
         "put_rejected_policy": 0, "put_rejected_capacity": 0,
         "put_rejected_admission": 0, "put_rejected_backpressure": 0,
         "trickle_rejected_admission": 0, "ssd_writes": 0,
@@ -664,6 +752,9 @@ class ReferenceCache:
             _SSD: int(config.ssd_capacity_mb * MB) // block_bytes,
         }
         self.used: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
+        self._base_capacity: Dict[StoreKind, int] = dict(self.capacities)
+        self.lend_in: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
+        self.lend_out: Dict[StoreKind, int] = {_MEMORY: 0, _SSD: 0}
         self.compression = config.compression
         self._gran = config.compression.granularity if config.compression else 1
         self._units_capacity = self.capacities[_MEMORY] * self._gran
@@ -702,7 +793,29 @@ class ReferenceCache:
     def set_capacity(self, kind: StoreKind, capacity_mb: float) -> None:
         if kind is _SSD and not self.has_ssd and capacity_mb > 0:
             raise ValueError("cannot size an SSD store without an SSD device")
-        self.capacities[kind] = int(capacity_mb * MB) // self.block_bytes
+        self._base_capacity[kind] = int(capacity_mb * MB) // self.block_bytes
+        self._apply_capacity(kind)
+
+    def set_lending(self, kind: StoreKind, lend_in: int = 0,
+                    lend_out: int = 0) -> None:
+        if lend_in < 0 or lend_out < 0:
+            raise ValueError("lend grants must be non-negative")
+        if lend_in and lend_out:
+            raise ValueError("a store cannot lend and borrow simultaneously")
+        if lend_out > self._base_capacity[kind]:
+            raise ValueError("cannot lend more than the owned capacity")
+        if (lend_in == self.lend_in[kind]
+                and lend_out == self.lend_out[kind]):
+            return
+        self.lend_in[kind] = lend_in
+        self.lend_out[kind] = lend_out
+        self._apply_capacity(kind)
+
+    def _apply_capacity(self, kind: StoreKind) -> None:
+        self.capacities[kind] = (
+            self._base_capacity[kind]
+            + self.lend_in[kind] - self.lend_out[kind]
+        )
         if kind is _MEMORY:
             self._units_capacity = self.capacities[kind] * self._gran
         self._recompute()
@@ -834,7 +947,8 @@ class ReferenceCache:
         pool.stats["flushes"] += dropped
         return dropped
 
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
         pool = self.vms[vm_id].pools[pool_id]
         keys = [key for key in list(pool.blocks) if key[0] == inode]
         dropped = 0
@@ -844,7 +958,8 @@ class ReferenceCache:
             if kind is _MEMORY:
                 self._mem_release(vm_id, key[0], key[1])
             dropped += 1
-        pool.stats["flush_requests"] += dropped
+        # Requested semantics, mirroring the manager's flush_inode.
+        pool.stats["flush_requests"] += dropped if nblocks is None else nblocks
         pool.stats["flushes"] += dropped
         return dropped
 
@@ -855,8 +970,10 @@ class ReferenceCache:
             return 0
         moves = [(key, kind) for key, kind in pool_items(source) if key[0] == inode]
         moved = 0
+        rejected = 0
         for key, kind in moves:
             if target.policy.weight_for(kind) <= 0:
+                rejected += 1
                 continue
             source.remove(key)
             target.insert(key[0], key[1], kind)
@@ -864,6 +981,8 @@ class ReferenceCache:
         if moved:
             source.stats["migrated_out"] += moved
             target.stats["migrated_in"] += moved
+        if rejected:
+            source.stats["migrated_rejected"] += rejected
         return moved
 
     # -- internals -------------------------------------------------------
@@ -1166,14 +1285,16 @@ class ReferenceGlobalCache:
         pool.stats["flushes"] += dropped
         return dropped
 
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
         pool = self.vms[vm_id].pools[pool_id]
         keys = [key for key in list(pool.blocks) if key[0] == inode]
         for key in keys:
             pool.remove(key)
             self.used_blocks -= 1
             self._fifo.remove((pool_id, key[0], key[1]))
-        pool.stats["flush_requests"] += len(keys)
+        pool.stats["flush_requests"] += (
+            len(keys) if nblocks is None else nblocks)
         pool.stats["flushes"] += len(keys)
         return len(keys)
 
@@ -1294,12 +1415,14 @@ class ReferenceStaticCache:
         pool.stats["flushes"] += dropped
         return dropped
 
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
         pool = self.vms[vm_id].pools[pool_id]
         keys = [key for key in list(pool.blocks) if key[0] == inode]
         for key in keys:
             pool.remove(key)
             self.used_blocks -= 1
-        pool.stats["flush_requests"] += len(keys)
+        pool.stats["flush_requests"] += (
+            len(keys) if nblocks is None else nblocks)
         pool.stats["flushes"] += len(keys)
         return len(keys)

@@ -165,18 +165,21 @@ class _PoolTableCache(HypervisorCacheBase):
         pool.stats.flushes += dropped
         return dropped
 
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
         pool = self._require_pool(vm_id, pool_id)
         tree = pool.files.get(inode)
         if tree is None:
-            return 0
-        keys = [(inode, block) for block, _ in tree.items()]
+            keys = []
+        else:
+            keys = [(inode, block) for block, _ in tree.items()]
         dropped = 0
         for key in keys:
             if self._forget(pool, *key) is not None:
                 dropped += 1
                 self._on_drop(pool.pool_id, *key)
-        pool.stats.flush_requests += dropped
+        # Requested semantics, same as DoubleDecker's flush_inode.
+        pool.stats.flush_requests += dropped if nblocks is None else nblocks
         pool.stats.flushes += dropped
         return dropped
 

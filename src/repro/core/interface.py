@@ -85,8 +85,14 @@ class HypervisorCacheBase(abc.ABC):
         """Invalidate specific blocks (guest dirtied them); returns #dropped."""
 
     @abc.abstractmethod
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
-        """Invalidate a whole file (deletion/truncation); returns #dropped."""
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
+        """Invalidate a whole file (deletion/truncation); returns #dropped.
+
+        ``nblocks`` is the file's block count as the guest knows it;
+        implementations count it into ``flush_requests`` so whole-file
+        flushes use the same *requested* semantics as :meth:`flush_many`.
+        """
 
     @abc.abstractmethod
     def migrate_objects(
@@ -152,7 +158,8 @@ class NullCache(HypervisorCacheBase):
     def flush_many(self, vm_id: int, pool_id: int, keys: Sequence[BlockKey]) -> int:
         return 0
 
-    def flush_inode(self, vm_id: int, pool_id: int, inode: int) -> int:
+    def flush_inode(self, vm_id: int, pool_id: int, inode: int,
+                    nblocks: Optional[int] = None) -> int:
         return 0
 
     def migrate_objects(self, vm_id: int, from_pool: int, to_pool: int, inode: int) -> int:

@@ -354,6 +354,7 @@ class Pool:
             evictions=self.stats.evictions,
             migrated_in=self.stats.migrated_in,
             migrated_out=self.stats.migrated_out,
+            migrated_rejected=self.stats.migrated_rejected,
             put_rejected_policy=self.stats.put_rejected_policy,
             put_rejected_capacity=self.stats.put_rejected_capacity,
             put_rejected_admission=self.stats.put_rejected_admission,

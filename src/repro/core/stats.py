@@ -35,6 +35,9 @@ class PoolStats:
     #: Blocks re-homed into/out of this pool by ``MIGRATE_OBJECT``.
     migrated_in: int = 0
     migrated_out: int = 0
+    #: Blocks a ``MIGRATE_OBJECT`` left behind because the target pool's
+    #: policy zero-weights their current store (partial migration).
+    migrated_rejected: int = 0
     #: Put-outcome ledger: every put is stored or lands in exactly one of
     #: these buckets, so ``puts == puts_stored + put_rejected_*`` holds.
     put_rejected_policy: int = 0

@@ -12,6 +12,7 @@ from .caching_modes import CachingModesExperiment
 from .cooperative import CooperativeExperiment
 from .dynamic import DynamicContainersExperiment, DynamicVMsExperiment
 from .endurance import EnduranceExperiment
+from .fleet import FleetExperiment
 from .flexible import FlexiblePolicyExperiment
 from .motivation import MotivationExperiment
 from .runner import Experiment, ExperimentResult, OccupancySampler, measure_window
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "dynamic_containers": DynamicContainersExperiment,
     "dynamic_vms": DynamicVMsExperiment,
     "endurance": EnduranceExperiment,
+    "fleet": FleetExperiment,
 }
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "EnduranceExperiment",
     "Experiment",
     "ExperimentResult",
+    "FleetExperiment",
     "FlexiblePolicyExperiment",
     "MotivationExperiment",
     "OccupancySampler",

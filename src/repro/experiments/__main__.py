@@ -46,7 +46,7 @@ from . import ALL_EXPERIMENTS
 
 def _run_one(
     task: Tuple[str, float, int, bool, bool, float, Optional[str],
-                Optional[str], int, int, bool]
+                Optional[str], int, int, bool, Optional[int], int]
 ) -> Tuple[str, str, float, Optional[str], Optional[str], Optional[str],
            Optional[bytes]]:
     """Run one experiment; module-level so multiprocessing can pickle it.
@@ -62,8 +62,15 @@ def _run_one(
     parent can persist it verbatim and ``pstats`` can load it.
     """
     (name, scale, seed, plots, want_json, audit, admission,
-     trace, trace_ops, trace_sample, profile) = task
+     trace, trace_ops, trace_sample, profile, hosts, fleet_jobs) = task
     cls = ALL_EXPERIMENTS[name]
+    # Fleet-topology experiments additionally take a host count and a
+    # shard-worker count; every other experiment keeps its signature.
+    extra = {}
+    if getattr(cls, "takes_fleet_args", False):
+        extra["jobs"] = fleet_jobs
+        if hosts is not None:
+            extra["hosts"] = hosts
     from ..core import set_audit_interval, set_default_admission
 
     # Installed here (not in main) so --jobs workers inherit it too.
@@ -85,7 +92,7 @@ def _run_one(
         if profiler is not None:
             profiler.enable()
         try:
-            result = cls(scale=scale, seed=seed).run()
+            result = cls(scale=scale, seed=seed, **extra).run()
         finally:
             if profiler is not None:
                 profiler.disable()
@@ -162,7 +169,12 @@ def main(argv=None) -> int:
                         help="with --out, also write machine-readable JSON")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run experiments in N worker processes "
-                             "(results identical to serial; default 1)")
+                             "(results identical to serial; default 1); "
+                             "for fleet-topology experiments also the "
+                             "shard-worker count per fleet")
+    parser.add_argument("--hosts", type=int, default=None, metavar="N",
+                        help="host count for fleet-topology experiments "
+                             "(default: experiment-specific)")
     parser.add_argument("--audit", type=float, nargs="?", const=10.0,
                         default=0.0, metavar="SECONDS",
                         help="audit every cache's shadow accounting every "
@@ -222,6 +234,14 @@ def main(argv=None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
+    if args.hosts is not None and not any(
+        getattr(ALL_EXPERIMENTS[name], "takes_fleet_args", False)
+        for name in names
+    ):
+        print("--hosts only applies to fleet-topology experiments "
+              "(e.g. 'fleet')", file=sys.stderr)
+        return 2
+
     if args.audit < 0:
         print(f"--audit must be >= 0, got {args.audit}", file=sys.stderr)
         return 2
@@ -250,7 +270,7 @@ def main(argv=None) -> int:
     tasks = [(name, args.scale, args.seed, not args.no_plots, args.json,
               args.audit, args.admission,
               args.trace, args.trace_ops, args.trace_sample,
-              profile_in_worker)
+              profile_in_worker, args.hosts, args.jobs)
              for name in names]
 
     if args.profile is not None and not fan_out:

@@ -1,0 +1,34 @@
+"""Fleet topology: multi-host cooperative caching for derivative clouds.
+
+Public surface:
+
+* :class:`Fleet` / :class:`FleetNode` — N hosts, one sharded simulation
+  advanced under conservative lookahead.
+* :class:`NetworkModel` — the inter-host latency/bandwidth floor (also
+  the sharding lookahead).
+* :class:`LendingCoordinator` — periodic re-derivation of remote-memory
+  lend grants.
+* :class:`MigrationRecord` — per-migration accept/reject accounting.
+* :func:`check_fleet` / :func:`assert_fleet_clean` — fleet-wide
+  invariants (per-host audit + lending conservation).
+"""
+
+from .fleet import (
+    Fleet,
+    FleetNode,
+    MigrationRecord,
+    assert_fleet_clean,
+    check_fleet,
+)
+from .lending import LendingCoordinator
+from .network import NetworkModel
+
+__all__ = [
+    "Fleet",
+    "FleetNode",
+    "LendingCoordinator",
+    "MigrationRecord",
+    "NetworkModel",
+    "assert_fleet_clean",
+    "check_fleet",
+]

@@ -1,0 +1,142 @@
+"""Remote-memory lending: the fleet's global capacity coordinator.
+
+A host whose DoubleDecker memory store runs well under its watermark has
+*slack*; a host evicting under pressure wants more than it owns.  The
+coordinator periodically re-derives **lend grants**: slack hosts export
+part of their owned capacity (``lend_out``), pressured hosts admit the
+borrowed capacity into their effective store size (``lend_in``).  Grants
+are absolute block counts applied idempotently through
+:meth:`~repro.core.cache_manager.DoubleDeckerCache.set_lending`, which
+maintains the audited invariant ``capacity == base + lend_in - lend_out``
+per cache; the coordinator maintains the fleet-wide one —
+``sum(lend_out) == sum(lend_in)`` — by construction (it only distributes
+whole blocks it collected).
+
+Latency modeling is deliberately coarse: borrowed blocks live in the
+borrower's store and hit at local cost (the MODELING.md fleet section
+records this approximation).  What the model *does* capture is the
+capacity dynamics: a re-derivation that shrinks a grant evicts through
+the normal resource-conservative path on whichever host lost capacity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..core import DoubleDeckerCache, StoreKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fleet import Fleet
+
+__all__ = ["LendingCoordinator"]
+
+_MEMORY = StoreKind.MEMORY
+
+
+class LendingCoordinator:
+    """Periodic re-derivation of memory lend grants across a fleet."""
+
+    def __init__(
+        self,
+        fleet: "Fleet",
+        interval_s: float = 60.0,
+        low_util: float = 0.5,
+        high_util: float = 0.9,
+        lend_fraction: float = 0.5,
+    ) -> None:
+        if interval_s < fleet.net.latency_s:
+            raise ValueError(
+                f"rebalance interval {interval_s} below the network "
+                f"latency floor {fleet.net.latency_s}"
+            )
+        if not 0.0 < low_util < high_util <= 1.0:
+            raise ValueError(
+                f"need 0 < low_util < high_util <= 1, got "
+                f"{low_util}/{high_util}"
+            )
+        if not 0.0 < lend_fraction <= 1.0:
+            raise ValueError(
+                f"lend_fraction must be in (0, 1], got {lend_fraction}"
+            )
+        self.fleet = fleet
+        self.interval_s = interval_s
+        self.low_util = low_util
+        self.high_util = high_util
+        self.lend_fraction = lend_fraction
+        self.rebalances = 0
+        #: One entry per rebalance that changed at least one grant:
+        #: ``(time, {host index: signed blocks (+borrowed, -lent)})``.
+        self.history: List[Tuple[float, Dict[int, int]]] = []
+
+    # -- scheduling -----------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first re-derivation one interval from now."""
+        self.fleet._at(self.fleet.now + self.interval_s, self._tick)
+
+    def _tick(self, now: float) -> None:
+        self.rebalance(now)
+        self.fleet._at(now + self.interval_s, self._tick)
+
+    # -- the re-derivation ----------------------------------------------
+
+    def _caches(self) -> List[Tuple[int, DoubleDeckerCache]]:
+        return [
+            (node.index, node.host.hvcache)
+            for node in self.fleet.nodes
+            if isinstance(node.host.hvcache, DoubleDeckerCache)
+        ]
+
+    def rebalance(self, now: float) -> None:
+        """Re-derive all grants from current occupancy (idempotent)."""
+        self.rebalances += 1
+        lenders: List[Tuple[int, DoubleDeckerCache, int]] = []
+        borrowers: List[Tuple[int, DoubleDeckerCache]] = []
+        neutral: List[Tuple[int, DoubleDeckerCache]] = []
+        for index, cache in self._caches():
+            base = cache._base_capacity[_MEMORY]
+            if base <= 0:
+                neutral.append((index, cache))
+                continue
+            util = cache.used[_MEMORY] / base
+            if util < self.low_util:
+                # Slack up to the low watermark, damped so a lender keeps
+                # headroom for its own growth.
+                slack = int(base * self.low_util) - cache.used[_MEMORY]
+                lendable = int(slack * self.lend_fraction)
+                if lendable > 0:
+                    lenders.append((index, cache, lendable))
+                else:
+                    neutral.append((index, cache))
+            elif util > self.high_util:
+                borrowers.append((index, cache))
+            else:
+                neutral.append((index, cache))
+
+        supply = sum(lendable for _, _, lendable in lenders)
+        grants: Dict[int, int] = {}
+        if borrowers and supply > 0:
+            # Equal split, remainder dropped: whole blocks only, and the
+            # outs below consume exactly what the ins receive.
+            per_borrower = supply // len(borrowers)
+            remaining = per_borrower * len(borrowers)
+            for index, cache, lendable in lenders:
+                out = min(lendable, remaining)
+                remaining -= out
+                cache.set_lending(_MEMORY, lend_out=out)
+                if out:
+                    grants[index] = -out
+            for index, cache in borrowers:
+                cache.set_lending(_MEMORY, lend_in=per_borrower)
+                if per_borrower:
+                    grants[index] = per_borrower
+        else:
+            # No market this round: every grant collapses to zero.
+            for index, cache, _ in lenders:
+                cache.set_lending(_MEMORY)
+            for index, cache in borrowers:
+                cache.set_lending(_MEMORY)
+        for index, cache in neutral:
+            cache.set_lending(_MEMORY)
+        if grants:
+            self.history.append((now, grants))

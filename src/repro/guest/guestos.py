@@ -338,7 +338,8 @@ class GuestOS:
             if owner is not None:
                 owner.file_blocks -= 1
         if file.hv_pool_id is not None:
-            yield from self.cleancache.flush_inode(file.hv_pool_id, file.inode)
+            yield from self.cleancache.flush_inode(
+                file.hv_pool_id, file.inode, nblocks=file.nblocks)
             file.hv_pool_id = None
         self.fs.delete_file(file)
         return len(removed)

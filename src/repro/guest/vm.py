@@ -138,6 +138,7 @@ class VirtualMachine:
         self.vcpus = vcpus
         self.block_bytes = block_bytes
         self.vm_id = vm_id
+        self.disk_base_block = disk_base_block
         self.cleancache = CleancacheClient(env, hvcache, vm_id, block_bytes)
         self.os = GuestOS(
             env,

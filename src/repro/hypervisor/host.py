@@ -9,8 +9,9 @@ the spindle.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..core import (
     DDConfig,
@@ -77,6 +78,10 @@ class Host:
         self.hvcache: HypervisorCacheBase = NullCache()
         self.vms: Dict[str, VirtualMachine] = {}
         self._vm_count = 0
+        #: Virtual-disk region bases retired by destroy_vm, reused (lowest
+        #: first) before the allocator grows — destroyed VMs leave no
+        #: address-space residue.
+        self._free_disk_bases: List[int] = []
         self.sampler = Sampler(env, self.registry, interval=10.0)
         # Endurance gauges: the SSD's wear trajectory is part of every
         # run's metrics, whether or not an experiment looks at it.
@@ -89,11 +94,19 @@ class Host:
 
     # -- hypervisor cache installation -------------------------------------------
 
-    def install_doubledecker(self, config: DDConfig) -> DoubleDeckerCache:
-        """Run DoubleDecker as the host's hypervisor cache."""
+    def install_doubledecker(
+        self, config: DDConfig, name: str = "ddecker"
+    ) -> DoubleDeckerCache:
+        """Run DoubleDecker as the host's hypervisor cache.
+
+        ``name`` becomes the cache's decision-provenance label; a fleet
+        passes one per host (e.g. ``"host2.ddecker"``) so multi-host
+        traces never mix.
+        """
         ssd_device = self.ssd if config.ssd_capacity_mb > 0 else None
         cache = DoubleDeckerCache(
-            self.env, config, self.block_bytes, ssd_device=ssd_device
+            self.env, config, self.block_bytes, ssd_device=ssd_device,
+            name=name,
         )
         self.hvcache = cache
         return cache
@@ -142,8 +155,11 @@ class Host:
         if name in self.vms:
             raise ValueError(f"VM {name!r} already exists")
         vm_id = self.hvcache.register_vm(name, cache_weight)
-        disk_base = self._vm_count * _VM_DISK_STRIDE
-        self._vm_count += 1
+        if self._free_disk_bases:
+            disk_base = heapq.heappop(self._free_disk_bases)
+        else:
+            disk_base = self._vm_count * _VM_DISK_STRIDE
+            self._vm_count += 1
         vm = VirtualMachine(
             self.env,
             name=name,
@@ -163,8 +179,19 @@ class Host:
         return vm
 
     def destroy_vm(self, vm: VirtualMachine) -> None:
-        """Tear a VM down (all its pools are freed)."""
+        """Tear a VM down (all its pools are freed).
+
+        Leaves zero host-side residue: the hypervisor-cache registration,
+        the VM's virtual-disk region, and the per-VM RNG stream are all
+        retired (``repro.core.audit.check_host`` asserts this).  The VM's
+        cleancache client is disabled so any guest process still in
+        flight degrades to no-ops instead of touching the cache under a
+        stale ``vm_id``.
+        """
+        vm.cleancache.enabled = False
         self.hvcache.unregister_vm(vm.vm_id)
+        heapq.heappush(self._free_disk_bases, vm.disk_base_block)
+        self.streams.drop(f"vm.{vm.name}.reclaim")
         del self.vms[vm.name]
 
     def set_vm_cache_weight(self, vm: VirtualMachine, weight: float) -> None:

@@ -260,16 +260,27 @@ def _replay_provenance(meta: Dict[str, Any],
             entry["trickle_rejected_admission"] += args.get(
                 "rejected_admission", 0)
         elif name == "migrate":
-            bucket(cache, args.get("from_pool"))["migrated_out"] += args.get(
-                "moved", 0)
+            source = bucket(cache, args.get("from_pool"))
+            source["migrated_out"] += args.get("moved", 0)
+            source["migrated_rejected"] += args.get("rejected", 0)
             bucket(cache, args.get("to_pool"))["migrated_in"] += args.get(
                 "moved", 0)
+        elif name == "migrate.cross_host":
+            # Each side of a cross-host VM migration ledgers its own half:
+            # the exporter counts moved blocks out, the adopter counts
+            # what it accepted and what it turned away.
+            entry = bucket(cache, event["pool"])
+            if args.get("direction") == "out":
+                entry["migrated_out"] += args.get("moved", 0)
+            else:
+                entry["migrated_in"] += args.get("moved", 0)
+                entry["migrated_rejected"] += args.get("rejected", 0)
 
     checked_fields = (
         "puts", "puts_stored", "put_rejected_policy", "put_rejected_capacity",
         "put_rejected_admission", "put_rejected_backpressure",
         "evictions", "trickle_rejected_admission", "ssd_writes",
-        "migrated_in", "migrated_out",
+        "migrated_in", "migrated_out", "migrated_rejected",
     )
     ledger = meta.get("ledger", {})
     for (cache, pool), entry in sorted(replayed.items()):

@@ -8,6 +8,7 @@ random streams.
 
 from .core import EmptySchedule, Environment, StopSimulation
 from .events import AllOf, AnyOf, ConditionEvent, Event, Interrupt, Timeout
+from .lookahead import LookaheadGroup
 from .process import Process
 from .resources import Request, Resource, TokenBucket
 from .rng import RandomStreams, zipf_ranks
@@ -22,6 +23,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "LookaheadGroup",
     "Process",
     "RandomStreams",
     "Request",

@@ -1,0 +1,71 @@
+"""Conservative-lookahead advancement for sharded simulations.
+
+A sharded simulation gives every shard (e.g. every host of a fleet) its
+own :class:`~repro.simkernel.core.Environment`.  Shards may only interact
+through a coordinator that acts at *sync boundaries*; between boundaries
+each shard's event stream is completely independent.  Under that
+contract, advancing every shard to the same boundary — in any order, or
+in parallel — is a classic conservative (null-message-free) lookahead
+barrier: no shard can receive an event below the boundary it has already
+been advanced to, so every interleaving yields byte-identical state.
+
+:class:`LookaheadGroup` is that barrier.  It is deliberately oblivious
+to *why* the boundary is safe — the caller (e.g. ``repro.fleet.Fleet``)
+derives boundaries from its coupling model, such as an inter-host
+network latency floor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .core import Environment
+
+__all__ = ["LookaheadGroup"]
+
+
+class LookaheadGroup:
+    """Advance a set of independent environments to common boundaries.
+
+    ``jobs`` > 1 fans the per-shard advancement out over a thread pool.
+    Determinism is preserved because each environment only touches its
+    own shard's state; callers must not share mutable simulation state
+    across shards (process-global observers like an active tracer are
+    shared state — callers are expected to fall back to ``jobs=1`` while
+    one is installed).
+    """
+
+    def __init__(self, envs: Sequence[Environment], jobs: int = 1) -> None:
+        if not envs:
+            raise ValueError("need at least one environment")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.envs: List[Environment] = list(envs)
+        self.jobs = jobs
+        self._pool = None
+
+    def advance(self, until: float, jobs: Optional[int] = None) -> None:
+        """Run every shard to ``until`` (one barrier step)."""
+        workers = self.jobs if jobs is None else jobs
+        if workers > 1 and len(self.envs) > 1:
+            pool = self._ensure_pool()
+            # list() drains the iterator so worker exceptions surface here.
+            list(pool.map(lambda env: env.run(until=until), self.envs))
+        else:
+            for env in self.envs:
+                env.run(until=until)
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when running serially)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(self.envs))
+            )
+        return self._pool

@@ -36,6 +36,18 @@ class RandomStreams:
         self._streams[name] = child
         return child
 
+    def drop(self, name: str) -> None:
+        """Forget the cached stream for ``name``.
+
+        Used when the named consumer is destroyed (e.g. a VM): the cache
+        entry would otherwise live for the whole run.  Because streams are
+        derived from ``(seed, name)`` alone, a later consumer reusing the
+        name gets an identically-seeded fresh stream — the stable mapping
+        the class guarantees — rather than a continuation of the dead
+        consumer's sequence.
+        """
+        self._streams.pop(name, None)
+
     def spawn(self, name: str) -> "RandomStreams":
         """A sub-factory whose streams are namespaced under ``name``."""
         digest = hashlib.sha256(f"{self.seed}//{name}".encode()).digest()

@@ -46,6 +46,7 @@ SSD_KIND = StoreKind.SSD
 
 STAT_FIELDS = ("gets", "get_hits", "puts", "puts_stored", "flushes",
                "flush_requests", "evictions", "migrated_in", "migrated_out",
+               "migrated_rejected",
                "put_rejected_policy", "put_rejected_capacity",
                "put_rejected_admission", "put_rejected_backpressure",
                "trickle_rejected_admission", "ssd_writes")
@@ -498,13 +499,47 @@ class TestFlushStats:
         run_gen(env, cache.put_many(vm, pool, [(2, b) for b in range(4)]))
         assert cache.flush_inode(vm, pool, 1) == 6
         stats = cache.pool_stats(vm, pool)
-        # Both paths use the same convention: flushes == drops.
+        # Without a request size, residency is the best available proxy.
         assert stats.flushes == 6
         assert stats.flush_requests == 6
         cache.flush_many(vm, pool, [(2, b) for b in range(4)])
         stats = cache.pool_stats(vm, pool)
         assert stats.flushes == 10
         assert stats.flush_requests == 10
+
+    def test_flush_inode_counts_requested_blocks(self):
+        """Regression (inconsistent flush_requests semantics): with the
+        file size supplied, a whole-file flush of a partially resident
+        inode counts *asks* into ``flush_requests`` — same requested
+        semantics as flush_many — while ``flushes`` still counts drops."""
+        env, cache = make_dd(ssd_capacity_mb=0.0)
+        vm = cache.register_vm("vm")
+        pool = cache.create_pool(vm, "ctr", CachePolicy.memory(100.0))
+        # 4 of the file's 9 blocks are resident.
+        run_gen(env, cache.put_many(vm, pool, [(1, b) for b in range(4)]))
+        assert cache.flush_inode(vm, pool, 1, nblocks=9) == 4
+        stats = cache.pool_stats(vm, pool)
+        assert stats.flushes == 4
+        assert stats.flush_requests == 9
+        # flush_many of a 9-key batch with 4 resident reports identically.
+        run_gen(env, cache.put_many(vm, pool, [(2, b) for b in range(4)]))
+        assert cache.flush_many(vm, pool,
+                                [(2, b) for b in range(9)]) == 4
+        stats = cache.pool_stats(vm, pool)
+        assert stats.flushes == 8
+        assert stats.flush_requests == 18
+        assert_consistent(cache)
+
+    def test_flush_inode_requested_semantics_in_baselines(self):
+        env = Environment()
+        cache = GlobalCache(env, 1.0, BLK)
+        vm = cache.register_vm("vm")
+        pool = cache.create_pool(vm, "ctr", CachePolicy.memory(100.0))
+        run_gen(env, cache.put_many(vm, pool, [(5, b) for b in range(3)]))
+        assert cache.flush_inode(vm, pool, 5, nblocks=7) == 3
+        stats = cache.pool_stats(vm, pool)
+        assert stats.flushes == 3
+        assert stats.flush_requests == 7
 
     def test_baseline_flush_stats_same_convention(self):
         env = Environment()
@@ -572,7 +607,41 @@ class TestMigrateObjects:
         assert cache._pools[mem_only].used[SSD_KIND] == 0
         assert cache.pool_stats(vm, hybrid).migrated_out == mem_blocks
         assert cache.pool_stats(vm, mem_only).migrated_in == mem_blocks
+        # The rejects are no longer silent: the source pool counts them.
+        assert cache.pool_stats(vm, hybrid).migrated_rejected == ssd_blocks
+        assert cache.pool_stats(vm, mem_only).migrated_rejected == 0
         assert_consistent(cache)
+
+    def test_partial_migration_records_rejects_in_ledger(self):
+        """Regression (silent partial migration): the obs ledger and the
+        ``migrate`` instant must record per-block rejects, so a caller can
+        distinguish a full migration from a partial one."""
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            env, cache = make_dd()
+            vm = cache.register_vm("vm")
+            hybrid = cache.create_pool(vm, "h", CachePolicy.hybrid(50.0, 50.0))
+            mem_only = cache.create_pool(vm, "m", CachePolicy.memory(100.0))
+            mem_ent = cache._pools[hybrid].entitlement[MEMORY]
+            run_gen(env, cache.put_many(
+                vm, hybrid, [(1, block) for block in range(mem_ent + 4)]))
+            ssd_blocks = cache._pools[hybrid].used[SSD_KIND]
+            assert ssd_blocks > 0
+            moved = cache.migrate_objects(vm, hybrid, mem_only, 1)
+            ledger = tracer.ledger[cache._obs_label]
+            assert ledger[hybrid]["migrated_out"] == moved
+            assert ledger[hybrid]["migrated_rejected"] == ssd_blocks
+            assert ledger[mem_only]["migrated_in"] == moved
+            instants = [event for event in tracer.events
+                        if event["name"] == "migrate"]
+            assert instants and instants[-1]["args"]["rejected"] == ssd_blocks
+            assert instants[-1]["args"]["moved"] == moved
+            assert_consistent(cache)
+        finally:
+            set_tracer(None)
 
     def test_unknown_pool_still_raises(self):
         env, cache, vm, a, _ = self.setup_pools(ssd_capacity_mb=0.0)

@@ -22,11 +22,12 @@ class TestRunnerPlumbing:
     def test_registry_covers_all_paper_artifacts(self):
         ids = {cls.exp_id for cls in ALL_EXPERIMENTS.values()}
         # Every evaluation table/figure of the paper appears exactly once,
-        # plus the EXT-END endurance extension (not a paper artifact).
+        # plus the EXT-END endurance and FLEET-1 multi-host extensions
+        # (not paper artifacts).
         assert ids == {
             "FIG-1/FIG-2", "FIG-3/TAB-1", "FIG-8/FIG-9/TAB-2",
             "FIG-10/FIG-11/TAB-3", "TAB-4", "FIG-12", "FIG-13",
-            "EXT-END",
+            "EXT-END", "FLEET-1",
         }
 
     def test_scale_validation(self):

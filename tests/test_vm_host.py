@@ -120,3 +120,71 @@ class TestPolicyControl:
         stats = c.cache_stats()
         assert stats is not None
         assert stats.name == "c"
+
+
+class TestDestroyVmResidue:
+    """Regression (destroy_vm leak audit): a destroyed VM must leave zero
+    host-side residue — cache registration, virtual-disk region, pool
+    FIFO slabs, dedup refcounts, and the per-VM RNG stream all retire."""
+
+    def test_create_destroy_churn_returns_to_baseline(self):
+        from repro.core import assert_host_clean
+
+        ctx, host = build_host()
+        cache = host.install_doubledecker(
+            DDConfig(mem_capacity_mb=16, ssd_capacity_mb=16, dedup=True)
+        )
+        env = ctx.env
+
+        def churn(vm, pool_id):
+            yield from cache.put_many(vm.vm_id, pool_id,
+                                      [(1, b) for b in range(40)])
+            yield from cache.get_many(vm.vm_id, pool_id,
+                                      [(1, b) for b in range(10)])
+
+        baseline = (
+            dict(cache.used), cache._mem_units_used,
+            len(cache.vms), len(cache._pools),
+            len(host.streams._streams), host._vm_count,
+        )
+        for index in range(100):
+            vm = host.create_vm(f"churn{index}", memory_mb=128.0)
+            c = vm.create_container("app", 64.0, CachePolicy.hybrid(50, 50))
+            env.run(until=env.process(churn(vm, c.pool_id)))
+            host.destroy_vm(vm)
+            assert_host_clean(host, where=f"cycle {index}")
+        assert cache.dedup is not None
+        assert len(cache.dedup._refcounts) == 0
+        after = (
+            dict(cache.used), cache._mem_units_used,
+            len(cache.vms), len(cache._pools),
+            len(host.streams._streams),
+            # Region reuse: 100 sequential VMs consume ONE region slot.
+            baseline[5] + 1,
+        )
+        assert after == (*baseline[:5], baseline[5] + 1)
+        assert host._free_disk_bases == [0]
+
+    def test_destroy_vm_disables_cleancache_client(self):
+        ctx, host = build_host()
+        host.install_doubledecker(DDConfig(mem_capacity_mb=16))
+        vm = host.create_vm("vm1", memory_mb=128.0)
+        vm.create_container("app", 64.0, CachePolicy.memory(100))
+        host.destroy_vm(vm)
+        # A guest process still in flight degrades to no-ops instead of
+        # hitting the cache with a stale vm_id.
+        assert vm.cleancache.enabled is False
+        assert vm.cleancache.get_stats(1) is None
+
+    def test_disk_regions_are_reused_lowest_first(self):
+        ctx, host = build_host()
+        vm1 = host.create_vm("a", memory_mb=128.0)
+        vm2 = host.create_vm("b", memory_mb=128.0)
+        base1, base2 = vm1.disk_base_block, vm2.disk_base_block
+        host.destroy_vm(vm2)
+        host.destroy_vm(vm1)
+        vm3 = host.create_vm("c", memory_mb=128.0)
+        vm4 = host.create_vm("d", memory_mb=128.0)
+        assert vm3.disk_base_block == min(base1, base2)
+        assert vm4.disk_base_block == max(base1, base2)
+        assert host._vm_count == 2
