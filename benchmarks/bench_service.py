@@ -1,0 +1,189 @@
+"""Service benchmark: DD cache service vs a baseline, over real sockets.
+
+Measures three subjects with the same seeded skewed workload the load
+generator uses (read-through get-or-set over a fixed keyspace):
+
+* ``dd_service`` — the full stack: asyncio memcached front-end over
+  :class:`repro.service.cache.ServiceCache` over the disk store, driven
+  through TCP by :func:`repro.service.loadgen.run_load`.
+* ``dd_direct`` — :class:`ServiceCache` called in-process (no sockets),
+  isolating the protocol/event-loop overhead.
+* ``baseline`` — ``diskcache.Cache`` when that package is installed,
+  else the in-process reference dict cache (capacity-bounded FIFO), so
+  the comparison runs in hermetic containers too.
+
+Run and print::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Record into the ``service`` section of ``BENCH_core.json`` (all other
+sections preserved)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --record
+"""
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics import Histogram  # noqa: E402
+from repro.service.cache import ServiceCache  # noqa: E402
+from repro.service.loadgen import run_load, _zipf_key  # noqa: E402
+from repro.service.server import CacheServer  # noqa: E402
+from repro.service.store import DiskStore  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+OPS = 6_000
+KEYSPACE = 2_000
+VALUE_BYTES = 4_096
+CAPACITY_MB = 4.0
+SEED = 42
+
+
+def _summarize(name, ops, hits, gets, elapsed_s, latency):
+    return {
+        "subject": name,
+        "ops": ops,
+        "duration_s": round(elapsed_s, 3),
+        "ops_per_s": round(ops / elapsed_s, 1) if elapsed_s > 0 else 0.0,
+        "hit_ratio": round(hits / gets, 4) if gets else 0.0,
+        "p50_us": round(latency.quantile(0.5) / 1e3, 1),
+        "p99_us": round(latency.quantile(0.99) / 1e3, 1),
+    }
+
+
+def bench_dd_service():
+    """Full stack over TCP via the load generator."""
+
+    async def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            store = DiskStore(tmp, sync_writes=False)
+            cache = ServiceCache(store, capacity_mb=CAPACITY_MB)
+            server = CacheServer(cache, port=0)
+            await server.start()
+            try:
+                result = await run_load(
+                    port=server.port, ops=OPS, tenants=2, connections=4,
+                    keyspace=KEYSPACE, value_bytes=VALUE_BYTES, seed=SEED)
+            finally:
+                await server.close()
+            assert result.protocol_errors == 0, "protocol errors during bench"
+            return _summarize("dd_service", result.ops, result.hits,
+                              result.gets, result.duration_s, result.latency)
+
+    return asyncio.run(run())
+
+
+def _drive_kv(name, get, put):
+    """The loadgen access pattern against an in-process get/put pair."""
+    rng = random.Random(SEED)
+    latency = Histogram.wallclock_ns(name)
+    payload = b"x" * VALUE_BYTES
+    gets = hits = ops = 0
+    start = time.perf_counter_ns()
+    for _ in range(OPS):
+        key = f"k{_zipf_key(rng, KEYSPACE)}"
+        t0 = time.perf_counter_ns()
+        value = get(key)
+        latency.add(time.perf_counter_ns() - t0)
+        gets += 1
+        ops += 1
+        if value is not None:
+            hits += 1
+            continue
+        t0 = time.perf_counter_ns()
+        put(key, payload)
+        latency.add(time.perf_counter_ns() - t0)
+        ops += 1
+    elapsed = (time.perf_counter_ns() - start) / 1e9
+    return _summarize(name, ops, hits, gets, elapsed, latency)
+
+
+def bench_dd_direct():
+    """ServiceCache without the socket/event-loop layer."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DiskStore(tmp, sync_writes=False)
+        cache = ServiceCache(store, capacity_mb=CAPACITY_MB)
+
+        def get(key):
+            found = cache.get("bench", key)
+            return None if found is None else found[0]
+
+        result = _drive_kv("dd_direct", get,
+                           lambda key, value: cache.set("bench", key, value))
+        cache.close()
+        return result
+
+
+def bench_baseline():
+    """diskcache.Cache if installed, else the reference FIFO dict cache."""
+    try:
+        import diskcache
+    except ImportError:
+        diskcache = None
+
+    if diskcache is not None:
+        with tempfile.TemporaryDirectory() as tmp:
+            with diskcache.Cache(tmp, size_limit=int(CAPACITY_MB * 2**20)) \
+                    as dc:
+                result = _drive_kv(
+                    "diskcache", dc.get,
+                    lambda key, value: dc.set(key, value))
+                result["subject"] = "diskcache"
+                return result
+
+    # Reference: capacity-bounded FIFO dict (pure memory, no durability)
+    # — an upper bound on what any disk-backed subject could reach.
+    capacity_entries = int(CAPACITY_MB * 2**20) // VALUE_BYTES
+    data = {}
+
+    def put(key, value):
+        if key in data:
+            del data[key]
+        elif len(data) >= capacity_entries:
+            del data[next(iter(data))]  # FIFO head
+        data[key] = value
+
+    result = _drive_kv("dict_fifo", data.get, put)
+    result["subject"] = "dict_fifo"
+    return result
+
+
+def run_all():
+    results = [bench_dd_service(), bench_dd_direct(), bench_baseline()]
+    section = {
+        "config": {
+            "ops": OPS, "keyspace": KEYSPACE,
+            "value_bytes": VALUE_BYTES, "capacity_mb": CAPACITY_MB,
+            "tenants": 2, "seed": SEED, "fsync": False,
+        },
+        "subjects": {result["subject"]: result for result in results},
+    }
+    return section
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--record", action="store_true",
+                        help="write the service section of BENCH_core.json")
+    args = parser.parse_args(argv)
+    section = run_all()
+    print(json.dumps(section, indent=2))
+    if args.record:
+        data = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+        data["service"] = section
+        OUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded service section into {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

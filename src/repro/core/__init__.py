@@ -41,6 +41,7 @@ from .audit import (
 from .baselines import GlobalCache, StaticPartitionCache
 from .cache_manager import DoubleDeckerCache
 from .config import CachePolicy, DDConfig, StoreKind
+from .engine import EvictionRound, PolicyEngine
 from .interface import HypervisorCacheBase, NullCache
 from .optimizations import CompressionModel, DedupIndex, content_fingerprint
 from .pools import BlockKey, Pool, VMEntry
@@ -77,6 +78,8 @@ __all__ = [
     "DDConfig",
     "DoubleDeckerCache",
     "EvictionEntity",
+    "EvictionRound",
+    "PolicyEngine",
     "GlobalCache",
     "HypervisorCacheBase",
     "NullCache",

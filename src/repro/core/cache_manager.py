@@ -22,19 +22,13 @@ from ..simkernel import Environment
 from ..storage import MB, MemSpec, SSD
 from .audit import global_audit_interval, start_periodic_audit
 from .config import CachePolicy, DDConfig, StoreKind
+from .engine import PolicyEngine
 from .interface import HypervisorCacheBase
 from .optimizations import DedupIndex, content_fingerprint
-from .policy import recompute_entitlements
 from .pools import BlockKey, Pool, VMEntry
 from .stats import PoolStats, StoreStats
 from .stores import MemBackend, SSDBackend, contiguous_runs
-from .victim import (
-    EvictionEntity,
-    exceed_value,
-    fallback_victim,
-    get_victim,
-    selection_state,
-)
+from .victim import exceed_value, selection_state
 
 __all__ = ["DoubleDeckerCache"]
 
@@ -98,11 +92,18 @@ class DoubleDeckerCache(HypervisorCacheBase):
             DedupIndex(self._fingerprint) if config.dedup else None
         )
 
-        self.vms: Dict[int, VMEntry] = {}
-        self._pools: Dict[int, Pool] = {}  # global pool-id -> Pool
-        self._next_vm_id = 1
-        self._next_pool_id = 1
-        self._vm_entitlements: Dict[Tuple[int, StoreKind], int] = {}
+        # The policy core: registry, entitlements, and Algorithm-1
+        # selection live in the extracted engine; this class remains the
+        # storage/clock driver.  ``vms`` / ``_pools`` alias the engine's
+        # live dicts so the auditor and tests read one source of truth.
+        self.engine = PolicyEngine(
+            self.capacities,
+            victim_policy=config.victim_policy,
+            admission_builder=self._build_admission,
+            admission_namer=self._admission_name,
+        )
+        self.vms: Dict[int, VMEntry] = self.engine.vms
+        self._pools: Dict[int, Pool] = self.engine.pools  # global pool-id -> Pool
         self._eviction_batch = max(1, int(config.eviction_batch_mb * MB) // block_bytes)
 
         self.store_counters: Dict[StoreKind, StoreStats] = {
@@ -134,10 +135,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
     # ------------------------------------------------------------------
 
     def register_vm(self, name: str, weight: float = 100.0) -> int:
-        vm_id = self._next_vm_id
-        self._next_vm_id += 1
-        self.vms[vm_id] = VMEntry(vm_id, name, weight)
-        self._recompute()
+        vm_id = self.engine.register_vm(name, weight)
         tracer = _obs.ACTIVE
         if tracer is not None and self._obs_label is not None:
             tracer.note_vm(self._obs_label, vm_id, name)
@@ -149,14 +147,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         vm = self._require_vm(vm_id)
         for pool_id in list(vm.pools):
             self.destroy_pool(vm_id, pool_id)
-        del self.vms[vm_id]
-        self._recompute()
+        self.engine.unregister_vm(vm_id)
 
     def set_vm_weight(self, vm_id: int, weight: float) -> None:
-        if weight < 0:
-            raise ValueError(f"weight must be non-negative, got {weight}")
-        self._require_vm(vm_id).weight = weight
-        self._recompute()
+        self.engine.set_vm_weight(vm_id, weight)
 
     def set_capacity(self, kind: StoreKind, capacity_mb: float) -> None:
         """Dynamically resize a store (the paper grows the memory store
@@ -219,18 +213,13 @@ class DoubleDeckerCache(HypervisorCacheBase):
     # ------------------------------------------------------------------
 
     def create_pool(self, vm_id: int, name: str, policy: CachePolicy) -> int:
-        vm = self._require_vm(vm_id)
+        self._require_vm(vm_id)
         if policy.ssd_weight > 0 and self.ssd_backend is None:
             raise ValueError(
                 f"pool {name!r} requests SSD but the cache has no SSD store"
             )
-        pool_id = self._next_pool_id
-        self._next_pool_id += 1
-        pool = Pool(pool_id, vm_id, name, policy)
-        pool.admission = self._build_admission(policy)
-        vm.pools[pool_id] = pool
-        self._pools[pool_id] = pool
-        self._recompute()
+        pool = self.engine.create_pool(vm_id, name, policy)
+        pool_id = pool.pool_id
         tracer = _obs.ACTIVE
         if tracer is not None and self._obs_label is not None:
             tracer.note_pool(self._obs_label, pool_id, name)
@@ -245,10 +234,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
         self._drain_pool(pool)
         # Keep the write reconciliation exact across pool lifetimes.
         self._ssd_writes_destroyed += pool.stats.ssd_writes
-        pool.active = False
-        del self.vms[vm_id].pools[pool_id]
-        del self._pools[pool_id]
-        self._recompute()
+        self.engine.destroy_pool(vm_id, pool_id)
         tracer = _obs.ACTIVE
         if tracer is not None and self._obs_label is not None:
             tracer.instant("pool.destroy", self.env.now, vm=vm_id,
@@ -258,15 +244,10 @@ class DoubleDeckerCache(HypervisorCacheBase):
         pool = self._require_pool(vm_id, pool_id)
         if policy.ssd_weight > 0 and self.ssd_backend is None:
             raise ValueError("policy requests SSD but the cache has no SSD store")
-        # Same resolved admission policy keeps the live controller (its
-        # ghost/bucket state and ledger survive a weight change); a policy
-        # switch builds a fresh one.
-        old_name = pool.policy.admission or self.config.admission or default_admission()
-        new_name = policy.admission or self.config.admission or default_admission()
-        pool.policy = policy
-        if new_name != old_name:
-            pool.admission = self._build_admission(policy)
-        self._recompute()
+        # The engine keeps the live admission controller when the resolved
+        # policy name is unchanged (its ghost/bucket state and ledger
+        # survive a weight change) and builds a fresh one on a switch.
+        new_name = self.engine.set_pool_policy(vm_id, pool_id, policy)
         tracer = _obs.ACTIVE
         if tracer is not None and self._obs_label is not None:
             tracer.instant("policy.set", self.env.now, vm=vm_id, pool=pool_id,
@@ -751,21 +732,24 @@ class DoubleDeckerCache(HypervisorCacheBase):
         blocks = self._mem_units_used / self._mem_gran
         return blocks * self.block_bytes / MB
 
+    @property
+    def _vm_entitlements(self) -> Dict[Tuple[int, StoreKind], int]:
+        """Per-``(vm_id, store)`` VM-level entitlements (engine-owned)."""
+        return self.engine.vm_entitlements
+
     def _require_vm(self, vm_id: int) -> VMEntry:
-        vm = self.vms.get(vm_id)
-        if vm is None:
-            raise KeyError(f"unknown vm_id {vm_id}")
-        return vm
+        return self.engine.require_vm(vm_id)
 
     def _require_pool(self, vm_id: int, pool_id: int) -> Pool:
-        vm = self._require_vm(vm_id)
-        pool = vm.pools.get(pool_id)
-        if pool is None:
-            raise KeyError(f"unknown pool_id {pool_id} in VM {vm_id}")
-        return pool
+        return self.engine.require_pool(vm_id, pool_id)
 
     def _recompute(self) -> None:
-        self._vm_entitlements = recompute_entitlements(self.vms, self.capacities)
+        self.engine.recompute()
+
+    def _admission_name(self, policy: CachePolicy) -> str:
+        """The admission-policy name ``policy`` resolves to (per-pool
+        override, then config default, then the process-wide default)."""
+        return policy.admission or self.config.admission or default_admission()
 
     def _build_admission(self, policy: CachePolicy):
         """Resolve and build a pool's SSD admission controller.
@@ -790,16 +774,7 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
     def _choose_store(self, pool: Pool) -> Optional[StoreKind]:
         """Where a new put for ``pool`` should land (hybrid spills to SSD)."""
-        policy = pool.policy
-        if policy.is_hybrid:
-            if pool.used[StoreKind.MEMORY] < pool.entitlement[StoreKind.MEMORY]:
-                return StoreKind.MEMORY
-            return StoreKind.SSD
-        if policy.mem_weight > 0:
-            return StoreKind.MEMORY
-        if policy.ssd_weight > 0:
-            return StoreKind.SSD
-        return None
+        return self.engine.choose_store(pool)
 
     def _make_room(self, kind: StoreKind, need: int) -> bool:
         """Ensure ``need`` free blocks in store ``kind``; False on failure.
@@ -830,59 +805,26 @@ class DoubleDeckerCache(HypervisorCacheBase):
 
     def _select_victim(self, entities, batch):
         """Apply the configured victim policy (Algorithm 1 by default)."""
-        if not entities:
-            return None
-        if self.config.victim_policy == "max_used":
-            return fallback_victim(entities)
-        victim = get_victim(entities, batch)
-        if victim is None:
-            victim = fallback_victim(entities)
-        return victim
+        return self.engine.select_victim(entities, batch)
 
     def _evict_round(self, kind: StoreKind) -> bool:
         """One Algorithm-1 round: pick victim VM, then pool, evict a batch.
 
-        Candidates are enumerated by *occupancy*, not policy weight:
-        blocks legitimately left in a store the policy no longer weights
-        (a ``set_policy`` store switch, or a trickle-down into a
-        memory-only pool) must stay reclaimable, or a full store wedges
-        with no visible victim.  Such entities keep entitlement 0 and get
-        weightage 0, so Algorithm 1 treats them as pure over-users.
+        The selection (candidate enumeration by occupancy, Algorithm-1
+        scoring, the fallback rules) lives in
+        :meth:`PolicyEngine.select_eviction`; this driver evicts the
+        batch FIFO from the winning pool and owns all storage accounting
+        (manager ``used``, memory units, trickle-down, tracing).
         """
         batch = self._eviction_batch
-        vm_entities = []
-        for vm in self.vms.values():
-            weighted = bool(vm.pools_on(kind))
-            used = vm.used(kind)
-            if not weighted and used == 0:
-                continue
-            vm_entities.append(EvictionEntity(
-                ref=vm,
-                entitlement=self._vm_entitlements.get((vm.vm_id, kind), 0),
-                used=used,
-                weightage=vm.weight if weighted else 0.0,
-            ))
-        victim_vm = self._select_victim(vm_entities, batch)
-        if victim_vm is None:
+        selection = self.engine.select_eviction(kind, batch)
+        if selection is None:
             return False
+        vm_entities = selection.vm_entities
+        pool_entities = selection.pool_entities
+        vm: VMEntry = selection.victim_vm
 
-        vm: VMEntry = victim_vm.ref
-        pool_entities = []
-        for pool in vm.pools.values():
-            weight = pool.policy.weight_for(kind)
-            if weight <= 0 and pool.used[kind] == 0:
-                continue
-            pool_entities.append(EvictionEntity(
-                ref=pool,
-                entitlement=pool.entitlement[kind],
-                used=pool.used[kind],
-                weightage=weight,
-            ))
-        victim_pool = self._select_victim(pool_entities, batch)
-        if victim_pool is None:
-            return False
-
-        pool: Pool = victim_pool.ref
+        pool: Pool = selection.victim_pool
         evicted = 0
         trickle: List[BlockKey] = []
         while evicted < batch and pool.used[kind] > 0:

@@ -1,0 +1,277 @@
+"""The DoubleDecker policy core, extracted behind a driver-agnostic seam.
+
+:class:`PolicyEngine` owns every *decision* the paper's cache makes —
+the VM/pool registry with its two-level weighted entitlements, the
+Algorithm-1 victim selection (``repro.core.victim``), the hybrid
+store-choice rule, and the resolution of per-pool SSD admission
+controllers — while knowing nothing about storage backends or time:
+
+* **Storage-agnostic.**  The engine tracks metadata (``Pool`` FIFOs and
+  per-entity occupancy) only; the driver moves bytes and charges device
+  costs.  ``capacities`` is a dict the driver owns and may mutate in
+  place (lending, dynamic resize); the engine re-reads it on every
+  :meth:`recompute`.
+* **Clock-agnostic.**  Nothing in the engine reads a clock.  Admission
+  controllers take ``now`` as an argument at their call sites, so the
+  simulator passes ``Environment.now`` and a wall-clock service passes
+  whatever monotonic time it lives on.
+
+Two drivers exist: the discrete-event simulator's
+:class:`~repro.core.cache_manager.DoubleDeckerCache` (which this class
+was factored out of — the simulated data path is byte-identical to the
+pre-extraction code, pinned by ``tests/test_policy_engine.py``) and the
+wall-clock cache service :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .config import CachePolicy, StoreKind
+from .policy import recompute_entitlements
+from .pools import Pool, VMEntry
+from .victim import EvictionEntity, fallback_victim, get_victim
+
+__all__ = ["PolicyEngine", "EvictionRound"]
+
+#: Builds an admission controller for a pool's policy (or ``None`` to
+#: admit freely).  Resolution of defaults (config / process-wide) is the
+#: driver's business, hence a callable rather than data.
+AdmissionBuilder = Callable[[CachePolicy], Optional[object]]
+
+#: Resolves the admission-policy *name* a policy would get, so a policy
+#: change can preserve a live controller (its ghost/bucket state) when
+#: the resolved name is unchanged.
+AdmissionNamer = Callable[[CachePolicy], str]
+
+
+@dataclass
+class EvictionRound:
+    """One Algorithm-1 selection with full decision provenance.
+
+    The candidate lists are exposed (not just the winners) so drivers
+    can re-derive each entity's exceed value for decision tracing
+    without re-running — or perturbing — the selection.
+    """
+
+    vm_entities: List[EvictionEntity]
+    victim_vm: VMEntry
+    pool_entities: List[EvictionEntity]
+    victim_pool: Pool
+
+
+class PolicyEngine:
+    """Registry + decision logic of the two-level weighted cache."""
+
+    def __init__(
+        self,
+        capacities: Dict[StoreKind, int],
+        victim_policy: str = "exceed",
+        admission_builder: Optional[AdmissionBuilder] = None,
+        admission_namer: Optional[AdmissionNamer] = None,
+    ) -> None:
+        if victim_policy not in ("exceed", "max_used"):
+            raise ValueError(f"unknown victim policy {victim_policy!r}")
+        #: Effective store sizes in blocks; owned and mutated by the driver.
+        self.capacities = capacities
+        self.victim_policy = victim_policy
+        self._admission_builder = admission_builder
+        self._admission_namer = admission_namer
+        self.vms: Dict[int, VMEntry] = {}
+        #: Flat global pool-id -> Pool map (pool ids are host-unique).
+        self.pools: Dict[int, Pool] = {}
+        self._next_vm_id = 1
+        self._next_pool_id = 1
+        self.vm_entitlements: Dict[Tuple[int, StoreKind], int] = {}
+
+    # ------------------------------------------------------------------
+    # VM lifecycle (hypervisor-level policy controller)
+    # ------------------------------------------------------------------
+
+    def register_vm(self, name: str, weight: float = 100.0) -> int:
+        vm_id = self._next_vm_id
+        self._next_vm_id += 1
+        self.vms[vm_id] = VMEntry(vm_id, name, weight)
+        self.recompute()
+        return vm_id
+
+    def unregister_vm(self, vm_id: int) -> VMEntry:
+        """Drop a VM from the registry (caller destroys its pools first)."""
+        vm = self.require_vm(vm_id)
+        if vm.pools:
+            raise ValueError(
+                f"VM {vm_id} still owns pools {sorted(vm.pools)} — destroy "
+                f"them (draining their blocks) before unregistering"
+            )
+        del self.vms[vm_id]
+        self.recompute()
+        return vm
+
+    def set_vm_weight(self, vm_id: int, weight: float) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self.require_vm(vm_id).weight = weight
+        self.recompute()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle (guest-level policy controller)
+    # ------------------------------------------------------------------
+
+    def create_pool(self, vm_id: int, name: str, policy: CachePolicy) -> Pool:
+        vm = self.require_vm(vm_id)
+        pool_id = self._next_pool_id
+        self._next_pool_id += 1
+        pool = Pool(pool_id, vm_id, name, policy)
+        if self._admission_builder is not None:
+            pool.admission = self._admission_builder(policy)
+        vm.pools[pool_id] = pool
+        self.pools[pool_id] = pool
+        self.recompute()
+        return pool
+
+    def destroy_pool(self, vm_id: int, pool_id: int) -> Pool:
+        """Retire a pool from the registry (caller drains its blocks)."""
+        pool = self.require_pool(vm_id, pool_id)
+        pool.active = False
+        del self.vms[vm_id].pools[pool_id]
+        del self.pools[pool_id]
+        self.recompute()
+        return pool
+
+    def set_pool_policy(
+        self, vm_id: int, pool_id: int, policy: CachePolicy
+    ) -> str:
+        """Change a pool's ``<T, W>`` tuple; returns the resolved admission
+        name.
+
+        The same resolved admission policy keeps the live controller (its
+        ghost/bucket state and ledger survive a weight change); a policy
+        switch builds a fresh one.
+        """
+        pool = self.require_pool(vm_id, pool_id)
+        namer = self._admission_namer
+        old_name = namer(pool.policy) if namer is not None else ""
+        new_name = namer(policy) if namer is not None else ""
+        pool.policy = policy
+        if new_name != old_name and self._admission_builder is not None:
+            pool.admission = self._admission_builder(policy)
+        self.recompute()
+        return new_name
+
+    # ------------------------------------------------------------------
+    # Entitlements
+    # ------------------------------------------------------------------
+
+    def recompute(self) -> None:
+        """Re-derive every entitlement from weights and capacities."""
+        self.vm_entitlements = recompute_entitlements(self.vms, self.capacities)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def choose_store(self, pool: Pool) -> Optional[StoreKind]:
+        """Where a new put for ``pool`` should land (hybrid spills to SSD)."""
+        policy = pool.policy
+        if policy.is_hybrid:
+            if pool.used[StoreKind.MEMORY] < pool.entitlement[StoreKind.MEMORY]:
+                return StoreKind.MEMORY
+            return StoreKind.SSD
+        if policy.mem_weight > 0:
+            return StoreKind.MEMORY
+        if policy.ssd_weight > 0:
+            return StoreKind.SSD
+        return None
+
+    def select_victim(
+        self, entities: List[EvictionEntity], batch: int
+    ) -> Optional[EvictionEntity]:
+        """Apply the configured victim policy (Algorithm 1 by default)."""
+        if not entities:
+            return None
+        if self.victim_policy == "max_used":
+            return fallback_victim(entities)
+        victim = get_victim(entities, batch)
+        if victim is None:
+            victim = fallback_victim(entities)
+        return victim
+
+    def vm_candidates(self, kind: StoreKind) -> List[EvictionEntity]:
+        """VM-level eviction candidates for store ``kind``.
+
+        Enumerated by *occupancy*, not policy weight: blocks legitimately
+        left in a store the policy no longer weights (a ``set_policy``
+        store switch, or a trickle-down into a memory-only pool) must
+        stay reclaimable, or a full store wedges with no visible victim.
+        Such entities keep entitlement 0 and get weightage 0, so
+        Algorithm 1 treats them as pure over-users.
+        """
+        entities: List[EvictionEntity] = []
+        for vm in self.vms.values():
+            weighted = bool(vm.pools_on(kind))
+            used = vm.used(kind)
+            if not weighted and used == 0:
+                continue
+            entities.append(EvictionEntity(
+                ref=vm,
+                entitlement=self.vm_entitlements.get((vm.vm_id, kind), 0),
+                used=used,
+                weightage=vm.weight if weighted else 0.0,
+            ))
+        return entities
+
+    def pool_candidates(self, vm: VMEntry, kind: StoreKind) -> List[EvictionEntity]:
+        """Pool-level eviction candidates within ``vm`` (same occupancy rule)."""
+        entities: List[EvictionEntity] = []
+        for pool in vm.pools.values():
+            weight = pool.policy.weight_for(kind)
+            if weight <= 0 and pool.used[kind] == 0:
+                continue
+            entities.append(EvictionEntity(
+                ref=pool,
+                entitlement=pool.entitlement[kind],
+                used=pool.used[kind],
+                weightage=weight,
+            ))
+        return entities
+
+    def select_eviction(self, kind: StoreKind, batch: int) -> Optional[EvictionRound]:
+        """One Algorithm-1 selection: victim VM, then victim pool within it.
+
+        Returns ``None`` when no entity holds anything evictable.  The
+        driver evicts up to ``batch`` blocks FIFO from the winning pool
+        and owns all accounting for them.
+        """
+        vm_entities = self.vm_candidates(kind)
+        victim_vm = self.select_victim(vm_entities, batch)
+        if victim_vm is None:
+            return None
+        vm: VMEntry = victim_vm.ref
+        pool_entities = self.pool_candidates(vm, kind)
+        victim_pool = self.select_victim(pool_entities, batch)
+        if victim_pool is None:
+            return None
+        return EvictionRound(
+            vm_entities=vm_entities,
+            victim_vm=vm,
+            pool_entities=pool_entities,
+            victim_pool=victim_pool.ref,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def require_vm(self, vm_id: int) -> VMEntry:
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"unknown vm_id {vm_id}")
+        return vm
+
+    def require_pool(self, vm_id: int, pool_id: int) -> Pool:
+        vm = self.require_vm(vm_id)
+        pool = vm.pools.get(pool_id)
+        if pool is None:
+            raise KeyError(f"unknown pool_id {pool_id} in VM {vm_id}")
+        return pool

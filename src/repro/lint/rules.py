@@ -82,6 +82,17 @@ _WALL_CLOCK_TIME_FNS = {
 }
 _WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today", "utcfromtimestamp"}
 
+#: Wall-clock-native module prefixes: the cache *service* lives on real
+#: time and real sockets by design, so the determinism rules that protect
+#: simulated fingerprints (DD001) and the kernel's failure surfacing
+#: (DD007) do not apply there.  Everything else in ``repro/`` stays
+#: under the strict regime.
+REALTIME_MODULES = ("service/",)
+
+
+def _in_realtime_module(ctx: LintContext) -> bool:
+    return ctx.module_tail().startswith(REALTIME_MODULES)
+
 
 class WallClockRule(Rule):
     rule_id = "DD001"
@@ -93,7 +104,7 @@ class WallClockRule(Rule):
     )
 
     def check(self, ctx: LintContext) -> Iterable[Finding]:
-        if not ctx.in_sim_code:
+        if not ctx.in_sim_code or _in_realtime_module(ctx):
             return
         time_mods, time_members = _import_aliases(ctx.tree, "time")
         dt_mods, dt_members = _import_aliases(ctx.tree, "datetime")
@@ -536,6 +547,10 @@ class SwallowedErrorRule(Rule):
     _BROAD = {"Exception", "BaseException"}
 
     def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if _in_realtime_module(ctx):
+            # A server must outlive misbehaving clients; broad handlers
+            # at the connection boundary are the correct idiom there.
+            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -588,6 +603,7 @@ LEDGER_WRITER_MODULES = {
     "core/stats.py",
     "core/audit.py",
     "obs/tracer.py",
+    "service/cache.py",
 }
 
 

@@ -71,10 +71,10 @@ def assert_ordered(value: Any, where: str) -> None:
 class decision_guards:
     """Context manager wrapping hot decision-path entry points.
 
-    Patches both :mod:`repro.core.victim` and the names
-    :mod:`repro.core.cache_manager` bound at import time, so guarded
-    wrappers are hit regardless of which module the caller resolved the
-    function through.
+    Patches :mod:`repro.core.victim` plus the names
+    :mod:`repro.core.engine` and :mod:`repro.core.cache_manager` bound
+    at import time, so guarded wrappers are hit regardless of which
+    module the caller resolved the function through.
     """
 
     _GUARDED = ("get_victim", "fallback_victim", "selection_state")
@@ -95,11 +95,11 @@ class decision_guards:
         return guarded
 
     def __enter__(self) -> "decision_guards":
-        from ..core import cache_manager, victim
+        from ..core import cache_manager, engine, victim
 
         wrappers = {name: self._wrap(name, getattr(victim, name))
                     for name in self._GUARDED}
-        for module in (victim, cache_manager):
+        for module in (victim, engine, cache_manager):
             for name, wrapper in wrappers.items():
                 if hasattr(module, name):
                     self._saved.append((module, name, getattr(module, name)))

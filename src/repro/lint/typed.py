@@ -30,6 +30,7 @@ TYPED_CORE_MODULES = (
     "core/victim.py",
     "core/radix.py",
     "core/stats.py",
+    "core/engine.py",
     "lint/engine.py",
     "lint/rules.py",
     "lint/typed.py",

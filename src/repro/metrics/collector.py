@@ -81,11 +81,27 @@ class MetricsRegistry:
 
     # -- histograms ---------------------------------------------------------------
 
-    def histogram(self, name: str) -> Histogram:
-        """The log-bucketed histogram ``name`` (created on first use)."""
+    def histogram(self, name: str, **create_kwargs) -> Histogram:
+        """The log-bucketed histogram ``name`` (created on first use).
+
+        ``create_kwargs`` (``lo``, ``growth``) apply only on creation —
+        wall-clock callers pass ``lo=Histogram.WALLCLOCK_NS_LO`` (or use
+        :meth:`wallclock_histogram`) so nanosecond samples don't collapse
+        into the simulated-magnitude underflow bucket.  An existing
+        histogram is returned as-is regardless of kwargs.
+        """
         hist = self._histograms.get(name)
         if hist is None:
-            hist = Histogram(name)
+            hist = Histogram(name, **create_kwargs)
+            self._histograms[name] = hist
+        return hist
+
+    def wallclock_histogram(self, name: str) -> Histogram:
+        """The histogram ``name`` with ns-scale buckets (created on first
+        use via :meth:`Histogram.wallclock_ns`)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram.wallclock_ns(name)
             self._histograms[name] = hist
         return hist
 

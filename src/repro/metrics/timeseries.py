@@ -176,6 +176,12 @@ class Histogram:
     Values at or below ``lo`` share the underflow bucket 0 (with the
     default ``lo`` of 0.1 microseconds that is "instantaneous" for the
     simulator's latencies).
+
+    The default buckets assume simulated-tick magnitudes (seconds); raw
+    ``time.perf_counter_ns()`` samples expressed in *seconds* would
+    collapse sub-100ns latencies into the underflow bucket.  Wall-clock
+    users should record integer nanoseconds into a histogram built by
+    :meth:`wallclock_ns`, whose buckets start at 1 ns.
     """
 
     __slots__ = ("name", "count", "total", "min", "max",
@@ -196,6 +202,23 @@ class Histogram:
         self._lo = lo
         self._growth = growth
         self._log_growth = math.log(growth)
+
+    #: Bucket floor for nanosecond-unit histograms: 1 ns, the resolution
+    #: of ``time.perf_counter_ns()``.
+    WALLCLOCK_NS_LO = 1.0
+
+    @classmethod
+    def wallclock_ns(cls, name: str = "",
+                     growth: float = 2.0 ** 0.25) -> "Histogram":
+        """A histogram tuned for wall-clock samples in integer nanoseconds.
+
+        Buckets start at 1 ns instead of the simulated-second default, so
+        real service latencies (hundreds of ns and up) keep the same
+        bounded relative error rather than collapsing into underflow.
+        Record ``time.perf_counter_ns()`` deltas directly — no conversion
+        to seconds, no float rounding of large tick counts.
+        """
+        return cls(name, lo=cls.WALLCLOCK_NS_LO, growth=growth)
 
     def add(self, value: float) -> None:
         """Record one sample."""

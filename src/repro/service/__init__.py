@@ -1,0 +1,30 @@
+"""``repro.service``: the DoubleDecker policy core serving real requests.
+
+The simulator proves the policy; this package runs it.  Three layers:
+
+* :class:`~repro.service.store.DiskStore` — a crash-safe, process-safe,
+  pure-Python persistent value store (SQLite metadata + one blob file
+  per entry, in the python-diskcache mold).
+* :class:`~repro.service.cache.ServiceCache` — drives the same
+  :class:`~repro.core.engine.PolicyEngine` the simulator uses: one DD
+  container (pool) per tenant, Algorithm-1 victim selection, the
+  ``repro.endurance`` admission controllers, per-tenant accounting.
+* :class:`~repro.service.server.CacheServer` — an asyncio front-end
+  speaking the memcached text protocol (``python -m repro.service``),
+  with wall-clock latency histograms in :mod:`repro.metrics` and an
+  optional :mod:`repro.obs` tracer.
+
+Unlike the simulator's exclusive second-chance cache, the service cache
+is the system of record for its values: a ``get`` hit leaves the entry
+resident.  Residence order is still FIFO per pool, so Algorithm 1's
+batch eviction behaves exactly as in the paper.
+
+These modules live on the host wall clock by design; sim-lint's DD001
+(wall-clock) and DD007 rules are allowlisted for ``repro/service/``
+(see ``repro.lint.rules.REALTIME_MODULES``).
+"""
+
+from .cache import ServiceCache, SetStatus
+from .store import DiskStore, StoredEntry
+
+__all__ = ["DiskStore", "ServiceCache", "SetStatus", "StoredEntry"]

@@ -1,0 +1,73 @@
+"""CLI: ``python -m repro.service --port 11311 --dir /tmp/ddcache``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from ..endurance import ADMISSION_POLICIES
+from .cache import ServiceCache
+from .protocol import MAX_VALUE_BYTES
+from .server import CacheServer
+from .store import DiskStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="DoubleDecker disk cache service (memcached text "
+                    "protocol; per-tenant DD containers).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=11311,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--dir", default="./ddcache",
+                        help="persistent store directory")
+    parser.add_argument("--capacity-mb", type=float, default=64.0,
+                        help="disk cache capacity in MB")
+    parser.add_argument("--block-bytes", type=int, default=4096,
+                        help="accounting block size")
+    parser.add_argument("--eviction-batch-mb", type=float, default=2.0,
+                        help="Algorithm-1 eviction batch (the paper's 2MB)")
+    parser.add_argument("--admission", default=None,
+                        choices=list(ADMISSION_POLICIES),
+                        help="SSD admission controller for every tenant")
+    parser.add_argument("--max-value-bytes", type=int,
+                        default=MAX_VALUE_BYTES)
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip per-value fsync (benchmarks only)")
+    return parser
+
+
+async def _run(args: argparse.Namespace) -> None:
+    store = DiskStore(args.dir, sync_writes=not args.no_fsync)
+    cache = ServiceCache(
+        store,
+        capacity_mb=args.capacity_mb,
+        block_bytes=args.block_bytes,
+        eviction_batch_mb=args.eviction_batch_mb,
+        admission=args.admission,
+    )
+    server = CacheServer(cache, host=args.host, port=args.port,
+                         max_value_bytes=args.max_value_bytes)
+    await server.start()
+    print(f"repro.service listening on {server.host}:{server.port} "
+          f"(dir={store.directory}, capacity={args.capacity_mb}MB)",
+          flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

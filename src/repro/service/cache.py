@@ -1,0 +1,282 @@
+"""The wall-clock DoubleDecker cache: PolicyEngine + DiskStore.
+
+One :class:`ServiceCache` is one host.  Every tenant namespace maps to
+its own DD container (a :class:`repro.core.pools.Pool`) under a single
+service VM, so the paper's machinery applies unchanged: per-pool
+``<T, W>`` weights, entitlements recomputed on every membership change,
+Algorithm-1 victim selection at both levels, batch FIFO eviction, and
+the :mod:`repro.endurance` admission controllers in front of the disk
+store.
+
+The disk store plays the role of the simulator's SSD store
+(``StoreKind.SSD``); an entry of ``n`` bytes occupies
+``ceil(n / block_bytes)`` blocks of the capacity budget, entered into
+its pool's FIFO under the entry's id as the inode.  Eviction pops the
+FIFO head and retires the *whole* entry — partial values are useless to
+a memcached client — so one Algorithm-1 round frees up to an eviction
+batch worth of blocks exactly as in the simulator.
+
+Unlike the simulated exclusive cache, a ``get`` hit leaves the entry
+resident (the service is the system of record for its values), so
+residence order remains pure FIFO.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.config import CachePolicy, StoreKind
+from ..core.engine import PolicyEngine
+from ..core.pools import Pool
+from ..endurance import make_admission
+from ..metrics import MetricsRegistry
+from .store import DiskStore
+
+__all__ = ["ServiceCache", "SetStatus"]
+
+_SSD = StoreKind.SSD
+_MB = 1 << 20
+
+
+class SetStatus:
+    """Outcome of a ``set`` (memcached reply severity encoded by name)."""
+
+    STORED = "stored"
+    NOT_STORED = "not_stored"      # admission or eviction refused it
+    TOO_LARGE = "too_large"        # exceeds the whole cache capacity
+
+
+class ServiceCache:
+    """Multi-tenant disk cache driven by the extracted policy core."""
+
+    def __init__(
+        self,
+        store: DiskStore,
+        capacity_mb: float = 64.0,
+        block_bytes: int = 4096,
+        eviction_batch_mb: float = 2.0,
+        admission: Optional[str] = None,
+        tenant_weight: float = 100.0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[object] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if block_bytes <= 0:
+            raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+        self.store = store
+        self.block_bytes = block_bytes
+        self.capacity_blocks = max(1, int(capacity_mb * _MB) // block_bytes)
+        self._eviction_batch = max(
+            1, int(eviction_batch_mb * _MB) // block_bytes)
+        self._admission = admission
+        self._tenant_weight = tenant_weight
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer
+        self._clock = clock
+
+        self.engine = PolicyEngine(
+            {StoreKind.MEMORY: 0, _SSD: self.capacity_blocks},
+            admission_builder=self._build_admission,
+            admission_namer=lambda policy: policy.admission or "",
+        )
+        self._vm_id = self.engine.register_vm("service", weight=100.0)
+        #: tenant name -> its DD container.
+        self.tenants: Dict[str, Pool] = {}
+        #: entry id (inode) -> (tenant, key, blocks, size)
+        self._entries: Dict[int, Tuple[str, str, int, int]] = {}
+        #: (tenant, key) -> entry id
+        self._ids: Dict[Tuple[str, str], int] = {}
+        self.used_blocks = 0
+        self._recover()
+
+    # -- construction ---------------------------------------------------
+
+    def _build_admission(self, policy: CachePolicy):
+        return make_admission(
+            policy.admission,
+            block_bytes=self.block_bytes,
+            ssd_capacity_blocks=self.capacity_blocks,
+        )
+
+    def _recover(self) -> None:
+        """Rebuild pool metadata from the store, in id (FIFO) order."""
+        for entry in self.store.iter_entries():
+            pool = self.pool(entry.tenant)
+            blocks = self._blocks_of(entry.size)
+            for block in range(blocks):
+                pool.insert(entry.entry_id, block, _SSD)
+            self._entries[entry.entry_id] = (
+                entry.tenant, entry.key, blocks, entry.size)
+            self._ids[(entry.tenant, entry.key)] = entry.entry_id
+            self.used_blocks += blocks
+
+    def pool(self, tenant: str) -> Pool:
+        """The tenant's container, created on first use."""
+        pool = self.tenants.get(tenant)
+        if pool is None:
+            pool = self.engine.create_pool(
+                self._vm_id, tenant,
+                CachePolicy(ssd_weight=self._tenant_weight,
+                            admission=self._admission))
+            self.tenants[tenant] = pool
+        return pool
+
+    def _blocks_of(self, size: int) -> int:
+        return max(1, (size + self.block_bytes - 1) // self.block_bytes)
+
+    # -- data path ------------------------------------------------------
+
+    def get(self, tenant: str, key: str) -> Optional[Tuple[bytes, int, int]]:
+        """``(value, flags, cas_id)`` on a hit, ``None`` on a miss."""
+        pool = self.pool(tenant)
+        pool.stats.gets += 1
+        entry_id = self._ids.get((tenant, key))
+        if entry_id is None:
+            return None
+        found = self.store.get(tenant, key)
+        if found is None:
+            # Store and metadata disagree — heal the metadata side.
+            self._forget(entry_id)
+            return None
+        pool.stats.get_hits += 1
+        return found
+
+    def set(self, tenant: str, key: str, value: bytes,
+            flags: int = 0) -> str:
+        """Store a value under Algorithm-1 capacity discipline."""
+        pool = self.pool(tenant)
+        pool.stats.puts += 1
+        blocks = self._blocks_of(len(value))
+        if blocks > self.capacity_blocks:
+            pool.stats.put_rejected_capacity += 1
+            return SetStatus.TOO_LARGE
+        controller = pool.admission
+        if controller is not None and not controller.admit(
+                (tenant, key), self._clock()):
+            pool.stats.put_rejected_admission += 1
+            return SetStatus.NOT_STORED
+
+        # Replace-in-place: retire the old copy's blocks first so the
+        # eviction pass below sees true occupancy.
+        old_id = self._ids.get((tenant, key))
+        if old_id is not None:
+            self._forget(old_id)
+
+        if not self._make_room(blocks):
+            pool.stats.put_rejected_capacity += 1
+            return SetStatus.NOT_STORED
+
+        entry_id = self.store.set(tenant, key, value, flags)
+        for block in range(blocks):
+            pool.insert(entry_id, block, _SSD)
+        self._entries[entry_id] = (tenant, key, blocks, len(value))
+        self._ids[(tenant, key)] = entry_id
+        self.used_blocks += blocks
+        pool.stats.puts_stored += 1
+        pool.stats.ssd_writes += blocks
+        return SetStatus.STORED
+
+    def delete(self, tenant: str, key: str) -> bool:
+        """Remove a key; True if it was present."""
+        pool = self.pool(tenant)
+        pool.stats.flush_requests += 1
+        entry_id = self._ids.get((tenant, key))
+        if entry_id is None:
+            return False
+        blocks = self._entries[entry_id][2]
+        self._forget(entry_id)
+        self.store.delete_entry(entry_id)
+        pool.stats.flushes += blocks
+        return True
+
+    def flush_all(self, tenant: Optional[str] = None) -> int:
+        """Drop every entry of one tenant (or of all); returns entries
+        dropped."""
+        victims = [
+            entry_id for entry_id, entry in sorted(self._entries.items())
+            if tenant is None or entry[0] == tenant
+        ]
+        for entry_id in victims:
+            owner, _, blocks, _ = self._entries[entry_id]
+            self._forget(entry_id)
+            self.store.delete_entry(entry_id)
+            self.tenants[owner].stats.flushes += blocks
+        return len(victims)
+
+    # -- eviction -------------------------------------------------------
+
+    def _make_room(self, blocks_needed: int) -> bool:
+        """Evict per Algorithm 1 until ``blocks_needed`` fit."""
+        while self.used_blocks + blocks_needed > self.capacity_blocks:
+            round_ = self.engine.select_eviction(_SSD, self._eviction_batch)
+            if round_ is None:
+                return False
+            victim_pool = round_.victim_pool
+            freed = self._evict_batch(victim_pool, blocks_needed)
+            if freed == 0:
+                # The selected pool had nothing left (stale candidate);
+                # no other entity can be closer to its entitlement, so
+                # the request simply does not fit.
+                return False
+        return True
+
+    def _evict_batch(self, pool: Pool, blocks_needed: int) -> int:
+        """FIFO-evict whole entries from ``pool`` up to one batch."""
+        freed = 0
+        while (freed < self._eviction_batch
+               and self.used_blocks + blocks_needed > self.capacity_blocks):
+            oldest = pool.pop_oldest(_SSD)
+            if oldest is None:
+                break
+            entry_id = oldest[0]
+            tenant, key, blocks, _ = self._entries.pop(entry_id)
+            # pop_oldest removed one block; drop the entry's remainder.
+            pool.remove_inode(entry_id)
+            del self._ids[(tenant, key)]
+            self.used_blocks -= blocks
+            self.store.delete_entry(entry_id)
+            pool.stats.evictions += blocks
+            freed += blocks
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "service.evict", self._clock(), vm=self._vm_id,
+                    pool=pool.pool_id, tenant=tenant, blocks=blocks)
+        return freed
+
+    def _forget(self, entry_id: int) -> None:
+        """Drop an entry's pool/index metadata (store row handled by
+        the caller, or replaced atomically by ``DiskStore.set``)."""
+        tenant, key, blocks, _ = self._entries.pop(entry_id)
+        self.tenants[tenant].remove_inode(entry_id)
+        del self._ids[(tenant, key)]
+        self.used_blocks -= blocks
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counter snapshot plus host-level occupancy."""
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(self.tenants):
+            pool = self.tenants[tenant]
+            snap = pool.snapshot_stats()
+            out[tenant] = {
+                "gets": snap.gets,
+                "get_hits": snap.get_hits,
+                "puts": snap.puts,
+                "puts_stored": snap.puts_stored,
+                "evictions": snap.evictions,
+                "put_rejected_admission": snap.put_rejected_admission,
+                "put_rejected_capacity": snap.put_rejected_capacity,
+                "used_blocks": pool.used[_SSD],
+                "entitlement_blocks": pool.entitlement[_SSD],
+            }
+        out["_host"] = {
+            "used_blocks": self.used_blocks,
+            "capacity_blocks": self.capacity_blocks,
+            "entries": len(self._entries),
+        }
+        return out
+
+    def close(self) -> None:
+        self.store.close()

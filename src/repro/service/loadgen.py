@@ -1,0 +1,210 @@
+"""Load generator for the cache service (client side of the benchmark).
+
+Drives a running server over real sockets with a seeded, skewed
+workload: each operation picks a key from a Zipf-like distribution over
+a fixed keyspace and issues a ``get``; a miss is followed by a ``set``
+of that key (read-through idiom), so the hit ratio converges to
+whatever the capacity and eviction policy allow.  Latency is sampled
+client-side in integer nanoseconds into ns-bucketed histograms
+(:meth:`repro.metrics.Histogram.wallclock_ns`).
+
+Also runnable standalone::
+
+    python -m repro.service.loadgen --port 11311 --ops 10000 --tenants 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from typing import Dict, List, Optional
+
+from ..metrics import Histogram
+
+__all__ = ["LoadResult", "run_load", "main"]
+
+_CRLF = b"\r\n"
+_ERROR_PREFIXES = (b"ERROR", b"CLIENT_ERROR", b"SERVER_ERROR")
+
+
+class LoadResult:
+    """Aggregated outcome of one load run."""
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.gets = 0
+        self.hits = 0
+        self.sets = 0
+        self.stored = 0
+        self.protocol_errors = 0
+        self.duration_s = 0.0
+        self.latency = Histogram.wallclock_ns("loadgen.lat")
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.duration_s if self.duration_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "gets": self.gets,
+            "hits": self.hits,
+            "sets": self.sets,
+            "stored": self.stored,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "protocol_errors": self.protocol_errors,
+            "duration_s": round(self.duration_s, 3),
+            "ops_per_s": round(self.ops_per_s, 1),
+            "p50_ns": int(self.latency.quantile(0.5)),
+            "p99_ns": int(self.latency.quantile(0.99)),
+        }
+
+    def merge(self, other: "LoadResult") -> None:
+        self.ops += other.ops
+        self.gets += other.gets
+        self.hits += other.hits
+        self.sets += other.sets
+        self.stored += other.stored
+        self.protocol_errors += other.protocol_errors
+        self.duration_s = max(self.duration_s, other.duration_s)
+        self.latency.merge(other.latency)
+
+
+def _zipf_key(rng: random.Random, keyspace: int) -> int:
+    """A cheap Zipf-ish skew: squared uniform biases toward low ids."""
+    u = rng.random()
+    return int(u * u * keyspace)
+
+
+async def _read_reply(reader: asyncio.StreamReader) -> bytes:
+    """One non-get reply line."""
+    return await reader.readline()
+
+
+async def _read_get_reply(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Consume a full get reply; the value on a hit, ``None`` on a miss."""
+    value = None
+    while True:
+        line = await reader.readline()
+        if not line or line.startswith(_ERROR_PREFIXES):
+            raise ProtocolError(line)
+        if line.startswith(b"END"):
+            return value
+        if line.startswith(b"VALUE"):
+            nbytes = int(line.split()[3])
+            body = await reader.readexactly(nbytes + 2)
+            value = body[:-2]
+
+
+class ProtocolError(Exception):
+    pass
+
+
+async def _worker(host: str, port: int, tenant: str, ops: int,
+                  keyspace: int, value_bytes: int, seed: int) -> LoadResult:
+    result = LoadResult()
+    rng = random.Random(seed)
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"tenant {tenant}\r\n".encode())
+    await writer.drain()
+    await _read_reply(reader)
+    payload = b"x" * value_bytes
+    start = time.perf_counter_ns()
+    for i in range(ops):
+        key = f"k{_zipf_key(rng, keyspace)}"
+        t0 = time.perf_counter_ns()
+        writer.write(f"get {key}\r\n".encode())
+        await writer.drain()
+        try:
+            value = await _read_get_reply(reader)
+        except ProtocolError:
+            result.protocol_errors += 1
+            value = None
+        result.latency.add(time.perf_counter_ns() - t0)
+        result.gets += 1
+        result.ops += 1
+        if value is not None:
+            result.hits += 1
+            continue
+        t0 = time.perf_counter_ns()
+        writer.write(
+            f"set {key} 0 0 {len(payload)}\r\n".encode() + payload + _CRLF)
+        await writer.drain()
+        reply = await _read_reply(reader)
+        result.latency.add(time.perf_counter_ns() - t0)
+        result.sets += 1
+        result.ops += 1
+        if reply.startswith(b"STORED"):
+            result.stored += 1
+        elif reply.startswith(_ERROR_PREFIXES):
+            result.protocol_errors += 1
+    result.duration_s = (time.perf_counter_ns() - start) / 1e9
+    writer.write(b"quit\r\n")
+    await writer.drain()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return result
+
+
+async def run_load(host: str = "127.0.0.1", port: int = 11311,
+                   ops: int = 10_000, tenants: int = 2,
+                   connections: int = 4, keyspace: int = 2_000,
+                   value_bytes: int = 4_096, seed: int = 42) -> LoadResult:
+    """Run ``ops`` operations split across connections and tenants."""
+    per_conn = max(1, ops // connections)
+    tasks: List[asyncio.Task] = []
+    for conn in range(connections):
+        tenant = f"tenant{conn % max(1, tenants)}"
+        tasks.append(asyncio.ensure_future(_worker(
+            host, port, tenant, per_conn, keyspace, value_bytes,
+            seed + conn)))
+    results = await asyncio.gather(*tasks)
+    total = LoadResult()
+    for result in results:
+        total.merge(result)
+    return total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--ops", type=int, default=10_000)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--keyspace", type=int, default=2_000)
+    parser.add_argument("--value-bytes", type=int, default=4_096)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--min-hit-ratio", type=float, default=None,
+                        help="exit 1 if the hit ratio lands below this")
+    args = parser.parse_args(argv)
+    result = asyncio.run(run_load(
+        host=args.host, port=args.port, ops=args.ops,
+        tenants=args.tenants, connections=args.connections,
+        keyspace=args.keyspace, value_bytes=args.value_bytes,
+        seed=args.seed))
+    print(json.dumps(result.as_dict(), indent=2))
+    if result.protocol_errors:
+        print(f"FAIL: {result.protocol_errors} protocol errors")
+        return 1
+    if args.min_hit_ratio is not None \
+            and result.hit_ratio < args.min_hit_ratio:
+        print(f"FAIL: hit ratio {result.hit_ratio:.3f} < "
+              f"{args.min_hit_ratio}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

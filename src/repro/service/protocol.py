@@ -1,0 +1,266 @@
+"""Memcached text protocol for the DD cache service.
+
+Implements the subset a stock memcached client library exercises:
+``set``, ``get``/``gets`` (multi-key), ``delete``, ``flush_all``,
+``stats``, ``version``, ``quit`` — plus ``noreply`` on mutations and
+natural pipelining (commands are consumed from the stream back to back,
+so a batch written in one TCP segment is answered in order).
+
+One extension: ``tenant <name>`` switches the connection's namespace,
+mapping it onto that tenant's DD container.  Connections start in the
+``default`` tenant, so plain memcached clients work unmodified.
+
+Error discipline follows memcached: unknown commands answer ``ERROR``,
+malformed arguments answer ``CLIENT_ERROR``, an oversized body is *fully
+consumed* and answered ``SERVER_ERROR object too large for cache`` so
+the stream stays in sync.  An abrupt disconnect mid-body is not an
+error — the partial command is simply discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from .cache import ServiceCache, SetStatus
+
+__all__ = ["MemcacheProtocol", "DEFAULT_TENANT", "MAX_VALUE_BYTES"]
+
+DEFAULT_TENANT = "default"
+#: Stock memcached's default item-size ceiling.
+MAX_VALUE_BYTES = 1 << 20
+
+_CRLF = b"\r\n"
+
+
+class MemcacheProtocol:
+    """Per-server protocol state: one instance handles every connection."""
+
+    def __init__(self, cache: ServiceCache,
+                 max_value_bytes: int = MAX_VALUE_BYTES) -> None:
+        self.cache = cache
+        self.max_value_bytes = max_value_bytes
+        #: ERROR/CLIENT_ERROR/SERVER_ERROR replies sent (the load
+        #: generator asserts this stays 0 on a clean run).
+        self.protocol_errors = 0
+        self.connections = 0
+        self.ops = 0
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """Serve one connection until EOF or ``quit``."""
+        self.connections += 1
+        tenant = DEFAULT_TENANT
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError,
+                        ValueError):
+                    break
+                if not line:
+                    break  # EOF
+                line = line.rstrip(b"\r\n")
+                if not line:
+                    continue
+                try:
+                    parts = line.decode("utf-8").split()
+                except UnicodeDecodeError:
+                    if not await self._reply(
+                            writer, b"CLIENT_ERROR malformed command\r\n",
+                            error=True):
+                        break
+                    continue
+                keep_going, tenant = await self._dispatch(
+                    reader, writer, parts, tenant)
+                if not keep_going:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- dispatch -------------------------------------------------------
+
+    async def _dispatch(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter,
+                        parts: list, tenant: str) -> tuple:
+        """Run one command; returns ``(keep_going, tenant)``."""
+        command = parts[0]
+        self.ops += 1
+        if command == "set":
+            ok = await self._cmd_set(reader, writer, parts[1:], tenant)
+            return (ok, tenant)
+        if command in ("get", "gets"):
+            ok = await self._cmd_get(writer, parts[1:], tenant,
+                                     with_cas=(command == "gets"))
+            return (ok, tenant)
+        if command == "delete":
+            ok = await self._cmd_delete(writer, parts[1:], tenant)
+            return (ok, tenant)
+        if command == "flush_all":
+            ok = await self._cmd_flush(writer, parts[1:], tenant)
+            return (ok, tenant)
+        if command == "stats":
+            ok = await self._cmd_stats(writer, tenant)
+            return (ok, tenant)
+        if command == "version":
+            ok = await self._reply(writer, b"VERSION repro-dd/1\r\n")
+            return (ok, tenant)
+        if command == "tenant":
+            if len(parts) != 2 or not parts[1]:
+                ok = await self._reply(
+                    writer, b"CLIENT_ERROR usage: tenant <name>\r\n",
+                    error=True)
+                return (ok, tenant)
+            ok = await self._reply(writer, b"OK\r\n")
+            return (ok, parts[1])
+        if command == "quit":
+            return (False, tenant)
+        ok = await self._reply(writer, b"ERROR\r\n", error=True)
+        return (ok, tenant)
+
+    # -- commands -------------------------------------------------------
+
+    async def _cmd_set(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter,
+                       args: list, tenant: str) -> bool:
+        noreply = bool(args) and args[-1] == "noreply"
+        if noreply:
+            args = args[:-1]
+        if len(args) != 4:
+            return await self._reply(
+                writer, b"CLIENT_ERROR bad command line format\r\n",
+                error=True, suppress=noreply)
+        key = args[0]
+        try:
+            flags = int(args[1])
+            int(args[2])  # exptime accepted and ignored (no TTL support)
+            nbytes = int(args[3])
+            if nbytes < 0 or flags < 0:
+                raise ValueError
+        except ValueError:
+            return await self._reply(
+                writer, b"CLIENT_ERROR bad command line format\r\n",
+                error=True, suppress=noreply)
+
+        try:
+            body = await reader.readexactly(nbytes + 2)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return False  # abrupt disconnect mid-body: discard quietly
+        if not body.endswith(_CRLF):
+            return await self._reply(
+                writer, b"CLIENT_ERROR bad data chunk\r\n",
+                error=True, suppress=noreply)
+        if nbytes > self.max_value_bytes:
+            return await self._reply(
+                writer, b"SERVER_ERROR object too large for cache\r\n",
+                error=True, suppress=noreply)
+
+        t0 = time.perf_counter_ns()
+        status = self.cache.set(tenant, key, body[:-2], flags)
+        self._observe("set", t0)
+        if status == SetStatus.STORED:
+            return await self._reply(writer, b"STORED\r\n",
+                                     suppress=noreply)
+        if status == SetStatus.TOO_LARGE:
+            return await self._reply(
+                writer, b"SERVER_ERROR object too large for cache\r\n",
+                error=True, suppress=noreply)
+        return await self._reply(writer, b"NOT_STORED\r\n",
+                                 suppress=noreply)
+
+    async def _cmd_get(self, writer: asyncio.StreamWriter, keys: list,
+                       tenant: str, with_cas: bool) -> bool:
+        if not keys:
+            return await self._reply(
+                writer, b"CLIENT_ERROR get requires a key\r\n", error=True)
+        chunks = []
+        for key in keys:
+            t0 = time.perf_counter_ns()
+            found = self.cache.get(tenant, key)
+            self._observe("get", t0)
+            if found is None:
+                continue
+            value, flags, cas = found
+            header = f"VALUE {key} {flags} {len(value)}"
+            if with_cas:
+                header += f" {cas}"
+            chunks.append(header.encode("utf-8") + _CRLF + value + _CRLF)
+        chunks.append(b"END\r\n")
+        return await self._reply(writer, b"".join(chunks))
+
+    async def _cmd_delete(self, writer: asyncio.StreamWriter, args: list,
+                          tenant: str) -> bool:
+        noreply = bool(args) and args[-1] == "noreply"
+        if noreply:
+            args = args[:-1]
+        if len(args) != 1:
+            return await self._reply(
+                writer, b"CLIENT_ERROR usage: delete <key> [noreply]\r\n",
+                error=True, suppress=noreply)
+        t0 = time.perf_counter_ns()
+        deleted = self.cache.delete(tenant, args[0])
+        self._observe("delete", t0)
+        return await self._reply(
+            writer, b"DELETED\r\n" if deleted else b"NOT_FOUND\r\n",
+            suppress=noreply)
+
+    async def _cmd_flush(self, writer: asyncio.StreamWriter, args: list,
+                         tenant: str) -> bool:
+        noreply = bool(args) and args[-1] == "noreply"
+        self.cache.flush_all(tenant)
+        return await self._reply(writer, b"OK\r\n", suppress=noreply)
+
+    async def _cmd_stats(self, writer: asyncio.StreamWriter,
+                         tenant: str) -> bool:
+        lines = []
+        snapshot = self.cache.stats()
+        for scope in sorted(snapshot):
+            for field in sorted(snapshot[scope]):
+                value = snapshot[scope][field]
+                lines.append(f"STAT {scope}:{field} {int(value)}\r\n")
+        for op in ("get", "set", "delete"):
+            hist = self.cache.registry.wallclock_histogram(
+                f"service.lat.{op}")
+            if hist.count:
+                lines.append(
+                    f"STAT lat:{op}:p50_ns {int(hist.quantile(0.5))}\r\n")
+                lines.append(
+                    f"STAT lat:{op}:p99_ns {int(hist.quantile(0.99))}\r\n")
+        lines.append("END\r\n")
+        return await self._reply(writer, "".join(lines).encode("utf-8"))
+
+    # -- plumbing -------------------------------------------------------
+
+    def _observe(self, op: str, t0_ns: int) -> None:
+        self.cache.registry.wallclock_histogram(f"service.lat.{op}").add(
+            time.perf_counter_ns() - t0_ns)
+
+    async def _reply(self, writer: asyncio.StreamWriter, payload: bytes,
+                     error: bool = False, suppress: bool = False) -> bool:
+        """Send a reply (unless ``noreply`` suppressed it); False means
+        the connection died and the caller should stop."""
+        if error:
+            self.protocol_errors += 1
+        if suppress:
+            return True
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+
+def parse_stats(payload: str) -> dict:
+    """Parse a ``stats`` reply into ``{name: int}`` (client-side helper)."""
+    out = {}
+    for line in payload.splitlines():
+        parts = line.split()
+        if len(parts) == 3 and parts[0] == "STAT":
+            out[parts[1]] = int(parts[2])
+    return out

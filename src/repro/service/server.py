@@ -1,0 +1,44 @@
+"""Asyncio TCP front-end binding the protocol to a ServiceCache."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .cache import ServiceCache
+from .protocol import MAX_VALUE_BYTES, MemcacheProtocol
+
+__all__ = ["CacheServer"]
+
+
+class CacheServer:
+    """One listening socket serving the memcached text protocol."""
+
+    def __init__(self, cache: ServiceCache, host: str = "127.0.0.1",
+                 port: int = 11311,
+                 max_value_bytes: int = MAX_VALUE_BYTES) -> None:
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self.protocol = MemcacheProtocol(cache, max_value_bytes)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``port`` 0 picks a free port."""
+        self._server = await asyncio.start_server(
+            self.protocol.handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.cache.close()

@@ -1,0 +1,18 @@
+"""TC001 fixture: the extracted PolicyEngine is typed-core.
+
+The path (``.../repro/core/engine.py``) places this file in the
+typed-core set, so the missing annotations below must fire TC001 —
+pinning that the policy-core extraction did not escape the gate.
+"""
+
+
+def select_eviction(kind, batch: int):  # finding: kind + return
+    return (kind, batch)
+
+
+class Engine:
+    def recompute(self, capacities):  # finding: capacities + return
+        return dict(capacities)
+
+    def annotated(self, vm_id: int) -> int:  # clean
+        return vm_id

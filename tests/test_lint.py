@@ -36,6 +36,7 @@ class RuleFiringTests(unittest.TestCase):
         ("dd008_ledger_bypass.py", "DD008", 3),
         ("core/dd009_linear_list_ops.py", "DD009", 5),
         ("core/victim.py", "TC001", 2),
+        ("core/engine.py", "TC001", 2),
     ]
 
     def test_every_rule_fires_on_its_fixture(self):
@@ -65,6 +66,25 @@ class RuleFiringTests(unittest.TestCase):
         covered = {rule_id for _, rule_id, _ in self.CASES}
         catalogued = {entry["id"] for entry in rule_catalog()}
         self.assertEqual(catalogued, covered)
+
+    def test_realtime_service_modules_are_allowlisted(self):
+        # Wall-clock reads and broad handlers that fire DD001/DD007
+        # anywhere else in repro/ are clean under service/.
+        findings = lint_fixture("service/realtime_clean.py")
+        self.assertEqual(findings, [], [f.message for f in findings])
+
+    def test_realtime_allowlist_is_service_scoped(self):
+        # The same constructs still fire outside service/ — the
+        # allowlist must not leak into simulated code.
+        findings = lint_fixture("dd001_wall_clock.py")
+        self.assertEqual(
+            sum(1 for f in findings if f.rule_id == "DD001"), 4)
+        findings = lint_fixture("dd007_swallowed_errors.py")
+        self.assertEqual(
+            sum(1 for f in findings if f.rule_id == "DD007"), 3)
+
+    def test_typed_core_gate_covers_policy_engine(self):
+        self.assertIn("core/engine.py", TYPED_CORE_MODULES)
 
     def test_fixture_dir_fails_strict_lint(self):
         findings = lint_paths([FIXTURES], ALL_RULES, root=REPO)
@@ -236,19 +256,23 @@ class SanitizerTests(unittest.TestCase):
                 sanitize.assert_ordered(bad, "here")
 
     def test_decision_guards_reject_sets_and_restore(self):
-        from repro.core import cache_manager
+        from repro.core import cache_manager, engine
 
         original = victim.get_victim
+        original_state = victim.selection_state
         with sanitize.decision_guards() as guards:
             self.assertIsNot(victim.get_victim, original)
-            self.assertIs(victim.get_victim, cache_manager.get_victim)
+            self.assertIs(victim.get_victim, engine.get_victim)
+            self.assertIs(
+                victim.selection_state, cache_manager.selection_state)
             chosen = victim.get_victim(self._entities(), 1)
             self.assertIsNotNone(chosen)
             self.assertEqual(guards.calls, 1)
             with self.assertRaises(sanitize.NondeterminismError):
                 victim.get_victim(set(), 1)
         self.assertIs(victim.get_victim, original)
-        self.assertIs(cache_manager.get_victim, original)
+        self.assertIs(engine.get_victim, original)
+        self.assertIs(cache_manager.selection_state, original_state)
 
     def test_run_smoke_detects_guard_violation(self):
         from repro import experiments

@@ -311,6 +311,41 @@ class TestHistogram:
         assert clone.count == 0
         assert clone.quantile(0.5) == 0.0
 
+    def test_default_buckets_collapse_ns_scale_samples(self):
+        # The simulated-magnitude default (lo=1e-7 s) cannot tell 5 ns
+        # from 80 ns when samples arrive as seconds: both underflow.
+        hist = Histogram("h")
+        for ns in (5, 40, 80):
+            hist.add(ns * 1e-9)
+        assert hist._counts == {0: 3}
+
+    def test_wallclock_ns_preserves_ns_precision(self):
+        hist = Histogram.wallclock_ns("service.lat.get")
+        samples = [250, 300, 400, 800, 1_200, 2_000_000]  # 250ns .. 2ms
+        for ns in samples:
+            hist.add(ns)
+        # Every sample lands above the 1 ns floor in a distinct region;
+        # quantiles keep the log-bucket relative-error bound at ns scale.
+        assert 0 not in hist._counts
+        assert hist.min == 250
+        assert hist.max == 2_000_000
+        p50 = hist.quantile(0.5)
+        assert 400 * 0.8 <= p50 <= 800 * 1.2
+        assert hist.quantile(1.0) == 2_000_000
+        # Large perf_counter_ns() deltas survive exactly (no float s
+        # conversion): a 3.6e12 ns (one hour) outlier keeps its bucket.
+        hist.add(3_600_000_000_000)
+        assert hist.max == 3_600_000_000_000
+
+    def test_wallclock_ns_merges_with_wallclock_ns_only(self):
+        a = Histogram.wallclock_ns("a")
+        b = Histogram.wallclock_ns("b")
+        b.add(500)
+        a.merge(b)
+        assert a.count == 1
+        with pytest.raises(ValueError):
+            a.merge(Histogram("sim"))
+
 
 class TestRegistryHistograms:
     def test_create_on_use_and_observe(self):
@@ -341,3 +376,20 @@ class TestRegistryHistograms:
         reg = MetricsRegistry()
         reg.observe_histogram("h", 1.0)
         assert ("histogram", "h") in list(reg.names())
+
+    def test_wallclock_histogram_create_on_use(self):
+        reg = MetricsRegistry()
+        hist = reg.wallclock_histogram("service.lat.get")
+        hist.add(750)  # 750 ns
+        assert hist._counts != {0: 1}
+        # Same name resolves to the same object through either accessor.
+        assert reg.wallclock_histogram("service.lat.get") is hist
+        assert reg.histogram("service.lat.get") is hist
+
+    def test_histogram_creation_kwargs_apply_once(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("ns", lo=Histogram.WALLCLOCK_NS_LO)
+        assert hist._lo == 1.0
+        # kwargs on later lookups are ignored, not an error.
+        assert reg.histogram("ns", lo=1e-7) is hist
+        assert hist._lo == 1.0

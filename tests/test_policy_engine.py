@@ -1,0 +1,233 @@
+"""PolicyEngine: unit tests + the extraction's differential pin.
+
+The slow test here is the contract of the refactor that factored
+Algorithm 1 / entitlement accounting out of ``DoubleDeckerCache`` into
+:class:`repro.core.engine.PolicyEngine`: the simulated data path must be
+byte-identical to the pre-extraction code.  The fingerprints below were
+recorded on the commit immediately before the split (PYTHONHASHSEED=0,
+scale 0.05, seed 42) and must never drift.
+"""
+
+import hashlib
+import os
+import unittest
+
+import pytest
+
+from repro.core import CachePolicy, PolicyEngine, StoreKind
+from repro.core.victim import EvictionEntity
+
+# sha256 of ExperimentResult.summary(plots=False), recorded pre-extraction.
+PRE_EXTRACTION_FINGERPRINTS = {
+    "caching_modes":
+        "6a88bbb7a4a92cd81bb28c17ec4ae5eecbaf3cbe93df20e6c015bf88dc6cf9ff",
+    "cooperative":
+        "f12b2c29f3c89ec39b977f4c1e827fad576153ef0e014515039fc440c60b1dc7",
+    "flexible_policy":
+        "3373ac3abefde9a95f9f67266dbab48a36167b6ddfd1ac5080a91020d9e60dd8",
+}
+
+
+def make_engine(mem=100, ssd=400, **kwargs):
+    return PolicyEngine({StoreKind.MEMORY: mem, StoreKind.SSD: ssd}, **kwargs)
+
+
+class RegistryTests(unittest.TestCase):
+
+    def test_register_vm_assigns_sequential_ids(self):
+        engine = make_engine()
+        self.assertEqual(engine.register_vm("a"), 1)
+        self.assertEqual(engine.register_vm("b"), 2)
+        self.assertEqual(sorted(engine.vms), [1, 2])
+
+    def test_entitlements_follow_weights(self):
+        # Shares are split over VMs that *actively use* the store: each
+        # VM needs at least one pool configured on MEMORY to count.
+        engine = make_engine(mem=100)
+        a = engine.register_vm("a", weight=100.0)
+        b = engine.register_vm("b", weight=300.0)
+        engine.create_pool(a, "pa", CachePolicy(mem_weight=1))
+        engine.create_pool(b, "pb", CachePolicy(mem_weight=1))
+        self.assertEqual(engine.vm_entitlements[(a, StoreKind.MEMORY)], 25)
+        self.assertEqual(engine.vm_entitlements[(b, StoreKind.MEMORY)], 75)
+        engine.set_vm_weight(b, 100.0)
+        self.assertEqual(engine.vm_entitlements[(a, StoreKind.MEMORY)], 50)
+
+    def test_unregister_vm_refuses_while_pools_exist(self):
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        engine.create_pool(vm, "p", CachePolicy(mem_weight=1))
+        with self.assertRaises(ValueError):
+            engine.unregister_vm(vm)
+
+    def test_negative_weight_rejected(self):
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        with self.assertRaises(ValueError):
+            engine.set_vm_weight(vm, -1.0)
+
+    def test_unknown_victim_policy_rejected(self):
+        with self.assertRaises(ValueError):
+            make_engine(victim_policy="lru")
+
+    def test_require_vm_and_pool_raise_keyerror(self):
+        engine = make_engine()
+        with self.assertRaises(KeyError):
+            engine.require_vm(99)
+        vm = engine.register_vm("a")
+        with self.assertRaises(KeyError):
+            engine.require_pool(vm, 99)
+
+    def test_pool_ids_are_host_unique(self):
+        engine = make_engine()
+        a = engine.register_vm("a")
+        b = engine.register_vm("b")
+        p1 = engine.create_pool(a, "p", CachePolicy(mem_weight=1))
+        p2 = engine.create_pool(b, "q", CachePolicy(mem_weight=1))
+        self.assertNotEqual(p1.pool_id, p2.pool_id)
+        self.assertEqual(set(engine.pools), {p1.pool_id, p2.pool_id})
+
+    def test_destroy_pool_deactivates_and_unlinks(self):
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        pool = engine.create_pool(vm, "p", CachePolicy(mem_weight=1))
+        engine.destroy_pool(vm, pool.pool_id)
+        self.assertFalse(pool.active)
+        self.assertNotIn(pool.pool_id, engine.pools)
+        self.assertNotIn(pool.pool_id, engine.vms[vm].pools)
+
+
+class AdmissionPlumbingTests(unittest.TestCase):
+
+    def test_builder_and_namer_drive_controller_lifecycle(self):
+        built = []
+
+        def builder(policy):
+            controller = object()
+            built.append(controller)
+            return controller
+
+        engine = make_engine(
+            admission_builder=builder,
+            admission_namer=lambda policy: policy.admission or "admit_all",
+        )
+        vm = engine.register_vm("a")
+        pool = engine.create_pool(
+            vm, "p", CachePolicy(ssd_weight=1, admission="admit_all"))
+        first = pool.admission
+        self.assertIs(first, built[-1])
+
+        # Same resolved admission name: live controller survives.
+        name = engine.set_pool_policy(
+            vm, pool.pool_id,
+            CachePolicy(ssd_weight=2, admission="admit_all"))
+        self.assertEqual(name, "admit_all")
+        self.assertIs(pool.admission, first)
+
+        # Different name: a fresh controller is built.
+        engine.set_pool_policy(
+            vm, pool.pool_id,
+            CachePolicy(ssd_weight=2, admission="second_access"))
+        self.assertIsNot(pool.admission, first)
+
+
+class DecisionTests(unittest.TestCase):
+
+    def test_choose_store_hybrid_spills_to_ssd(self):
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        pool = engine.create_pool(
+            vm, "p", CachePolicy(mem_weight=1, ssd_weight=1))
+        pool.entitlement[StoreKind.MEMORY] = 2
+        self.assertIs(engine.choose_store(pool), StoreKind.MEMORY)
+        pool.used[StoreKind.MEMORY] = 2
+        self.assertIs(engine.choose_store(pool), StoreKind.SSD)
+
+    def test_choose_store_single_level_and_uncached(self):
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        mem = engine.create_pool(vm, "m", CachePolicy(mem_weight=1))
+        ssd = engine.create_pool(vm, "s", CachePolicy(ssd_weight=1))
+        off = engine.create_pool(vm, "o", CachePolicy())
+        self.assertIs(engine.choose_store(mem), StoreKind.MEMORY)
+        self.assertIs(engine.choose_store(ssd), StoreKind.SSD)
+        self.assertIsNone(engine.choose_store(off))
+
+    def test_select_victim_prefers_exceeders(self):
+        engine = make_engine()
+        over = EvictionEntity(ref="over", entitlement=10, used=20, weightage=1)
+        under = EvictionEntity(ref="under", entitlement=10, used=5, weightage=1)
+        victim = engine.select_victim([under, over], batch=4)
+        self.assertIs(victim, over)
+
+    def test_select_victim_max_used_policy(self):
+        engine = make_engine(victim_policy="max_used")
+        small = EvictionEntity(ref="s", entitlement=0, used=3, weightage=1)
+        big = EvictionEntity(ref="b", entitlement=0, used=9, weightage=1)
+        self.assertIs(engine.select_victim([small, big], batch=4), big)
+        self.assertIsNone(engine.select_victim([], batch=4))
+
+    def test_select_eviction_returns_none_on_empty_host(self):
+        engine = make_engine()
+        engine.register_vm("a")
+        self.assertIsNone(engine.select_eviction(StoreKind.MEMORY, 4))
+
+    def test_unweighted_holders_stay_reclaimable(self):
+        # Blocks left in a store the policy no longer weights must still
+        # be enumerated (weightage 0) or a full store wedges.
+        engine = make_engine()
+        vm = engine.register_vm("a")
+        pool = engine.create_pool(vm, "p", CachePolicy(ssd_weight=1))
+        pool.used[StoreKind.MEMORY] = 6  # e.g. left behind by set_policy
+        entities = engine.vm_candidates(StoreKind.MEMORY)
+        self.assertEqual(len(entities), 1)
+        self.assertEqual(entities[0].weightage, 0.0)
+        self.assertEqual(entities[0].used, 6)
+        round_ = engine.select_eviction(StoreKind.MEMORY, 4)
+        self.assertIsNotNone(round_)
+        self.assertIs(round_.victim_pool, pool)
+
+    def test_capacities_mutated_in_place_are_reread(self):
+        caps = {StoreKind.MEMORY: 100, StoreKind.SSD: 0}
+        engine = PolicyEngine(caps)
+        vm = engine.register_vm("a")
+        engine.create_pool(vm, "p", CachePolicy(mem_weight=1))
+        self.assertEqual(engine.vm_entitlements[(vm, StoreKind.MEMORY)], 100)
+        caps[StoreKind.MEMORY] = 40  # lending / dynamic resize
+        engine.recompute()
+        self.assertEqual(engine.vm_entitlements[(vm, StoreKind.MEMORY)], 40)
+
+
+@pytest.mark.slow
+@unittest.skipUnless(
+    os.environ.get("PYTHONHASHSEED") == "0",
+    "fingerprints are pinned under PYTHONHASHSEED=0")
+class ExtractionDifferentialTests(unittest.TestCase):
+    """The simulator path must be byte-identical to pre-extraction."""
+
+    def _fingerprint(self, name):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        experiment = ALL_EXPERIMENTS[name](scale=0.05, seed=42)
+        result = experiment.run()
+        text = result.summary(plots=False)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def test_caching_modes_fingerprint_unchanged(self):
+        self.assertEqual(
+            self._fingerprint("caching_modes"),
+            PRE_EXTRACTION_FINGERPRINTS["caching_modes"])
+
+    def test_cooperative_fingerprint_unchanged(self):
+        self.assertEqual(
+            self._fingerprint("cooperative"),
+            PRE_EXTRACTION_FINGERPRINTS["cooperative"])
+
+    def test_flexible_policy_fingerprint_unchanged(self):
+        self.assertEqual(
+            self._fingerprint("flexible_policy"),
+            PRE_EXTRACTION_FINGERPRINTS["flexible_policy"])
+
+
+if __name__ == "__main__":
+    unittest.main()
