@@ -34,7 +34,7 @@ from ..core.audit import InvariantViolation
 from ..core.config import CachePolicy
 from ..guest import VirtualMachine
 from ..hypervisor import Host, HostSpec
-from ..metrics import MetricsRegistry
+from ..metrics import MetricFamily, MetricsRegistry, registry_families, render_families
 from ..obs import tracer as _obs
 from ..simkernel import Environment, LookaheadGroup, RandomStreams
 from ..storage import MB
@@ -190,6 +190,23 @@ class Fleet:
     def close(self) -> None:
         """Release worker threads (safe to call repeatedly)."""
         self._group.close()
+
+    # -- observability export -------------------------------------------
+
+    def metrics_families(self) -> List[MetricFamily]:
+        """Every shard's registry as metric families, one ``host`` label
+        per node — same-name families across hosts merge at render time,
+        so a counter becomes one family with N labelled samples."""
+        families: List[MetricFamily] = []
+        for node in self.nodes:
+            families.extend(registry_families(
+                node.registry, labels={"host": f"host{node.index}"}))
+        return families
+
+    def export_metrics_text(self) -> str:
+        """The whole fleet in Prometheus text exposition format (the
+        same renderer the live service's ``/metrics`` endpoint uses)."""
+        return render_families(self.metrics_families())
 
     # -- VM live-migration ----------------------------------------------
 

@@ -1,4 +1,4 @@
-"""sim-lint rule catalog: DD001..DD009.
+"""sim-lint rule catalog: DD001..DD010.
 
 Each rule defends one determinism or invariant property the reproduction
 relies on (see docs/LINTING.md for the full catalog with examples):
@@ -11,7 +11,8 @@ relies on (see docs/LINTING.md for the full catalog with examples):
 * DD006 — tracer calls missing the ``if tracer is not None`` zero-cost guard;
 * DD007 — bare/swallowed exception handlers;
 * DD008 — stats-counter writes that bypass the put-outcome ledger;
-* DD009 — linear-time list operations in hot-path modules.
+* DD009 — linear-time list operations in hot-path modules;
+* DD010 — blocking calls inside ``async def`` bodies in the live service.
 
 The TC001 typed-core gate (annotation completeness over
 ``repro.core.victim`` / ``repro.core.radix``) is registered alongside
@@ -82,12 +83,13 @@ _WALL_CLOCK_TIME_FNS = {
 }
 _WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today", "utcfromtimestamp"}
 
-#: Wall-clock-native module prefixes: the cache *service* lives on real
-#: time and real sockets by design, so the determinism rules that protect
-#: simulated fingerprints (DD001) and the kernel's failure surfacing
-#: (DD007) do not apply there.  Everything else in ``repro/`` stays
-#: under the strict regime.
-REALTIME_MODULES = ("service/",)
+#: Wall-clock-native module prefixes: the cache *service* and the live
+#: telemetry plane live on real time and real sockets by design, so the
+#: determinism rules that protect simulated fingerprints (DD001) and the
+#: kernel's failure surfacing (DD007) do not apply there.  Everything
+#: else in ``repro/`` stays under the strict regime.  These modules get
+#: their own rule instead: DD010 polices their event loop.
+REALTIME_MODULES = ("service/", "obs/live.py")
 
 
 def _in_realtime_module(ctx: LintContext) -> bool:
@@ -799,6 +801,115 @@ class LinearListOpRule(Rule):
                     f"event; swap-with-last, tombstone, or use a dict index")
 
 
+# -- DD010 -------------------------------------------------------------------
+
+#: ``os`` functions that block on storage until the kernel flushes.
+_BLOCKING_OS_FNS = {"fsync", "fdatasync", "sync"}
+
+#: Receiver spellings that denote the disk store / service cache, whose
+#: data-path methods run SQLite transactions and blob I/O synchronously.
+_BLOCKING_RECV_RE = re.compile(r"(^|\.)_?(store|cache)$")
+
+#: The synchronous data-path methods on those receivers.  ``stats`` and
+#: ``close`` are deliberately absent: both are cheap metadata reads and
+#: flagging them would force suppressions on every shutdown path.
+_BLOCKING_DATA_METHODS = {
+    "get", "set", "delete", "delete_entry", "flush", "flush_all", "recover",
+}
+
+
+class BlockingAsyncCallRule(Rule):
+    rule_id = "DD010"
+    title = "blocking call inside an async def body"
+    rationale = (
+        "The service runs one event loop: a time.sleep, fsync, builtin "
+        "open(), or synchronous DiskStore/ServiceCache data call inside "
+        "an async def stalls every connection, the telemetry sidecar, "
+        "and the snapshot task at once. Use await asyncio.sleep, hoist "
+        "file I/O into the sync entry point, or justify the bounded "
+        "blocking with a suppression."
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if not _in_realtime_module(ctx):
+            # Only the realtime modules host event loops; simulated code
+            # is synchronous by construction and DD001 already owns it.
+            return
+        time_mods, time_members = _import_aliases(ctx.tree, "time")
+        os_mods, os_members = _import_aliases(ctx.tree, "os")
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in self._own_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(
+                    ctx, node, time_mods, time_members, os_mods, os_members)
+
+    @staticmethod
+    def _own_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes executed *by this coroutine* — nested defs excluded (a
+        nested async def is visited on its own; a nested sync def only
+        blocks if the coroutine calls it, which the call-site catches)."""
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, ctx: LintContext, node: ast.Call,
+                    time_mods: Set[str], time_members: Dict[str, str],
+                    os_mods: Set[str], os_members: Dict[str, str]
+                    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                yield self.finding(
+                    ctx, node,
+                    "builtin open() inside an async def blocks the event "
+                    "loop on disk I/O — open files in the sync entry point "
+                    "and pass the stream in")
+            elif time_members.get(func.id) == "sleep":
+                yield self.finding(
+                    ctx, node,
+                    "time.sleep() inside an async def stalls the whole "
+                    "event loop — use 'await asyncio.sleep(...)'")
+            elif os_members.get(func.id) in _BLOCKING_OS_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"os.{os_members[func.id]}() inside an async def blocks "
+                    f"until the kernel flushes — offload to the sync data "
+                    f"path or a thread")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        recv = _dotted(func.value)
+        if recv is None:
+            return
+        if recv in time_mods and func.attr == "sleep":
+            yield self.finding(
+                ctx, node,
+                f"{recv}.sleep() inside an async def stalls the whole "
+                f"event loop — use 'await asyncio.sleep(...)'")
+        elif recv in os_mods and func.attr in _BLOCKING_OS_FNS:
+            yield self.finding(
+                ctx, node,
+                f"{recv}.{func.attr}() inside an async def blocks until "
+                f"the kernel flushes — offload to the sync data path or "
+                f"a thread")
+        elif _BLOCKING_RECV_RE.search(recv) \
+                and func.attr in _BLOCKING_DATA_METHODS:
+            yield self.finding(
+                ctx, node,
+                f"synchronous {recv}.{func.attr}() inside an async def — "
+                f"SQLite transactions and blob I/O block the event loop; "
+                f"bound the cost and justify with a suppression, or "
+                f"offload to a thread")
+
+
 # -- registry ----------------------------------------------------------------
 
 def _build_rules() -> List[Rule]:
@@ -814,6 +925,7 @@ def _build_rules() -> List[Rule]:
         SwallowedErrorRule(),
         LedgerBypassRule(),
         LinearListOpRule(),
+        BlockingAsyncCallRule(),
         TypedCoreRule(),
     ]
 

@@ -1,16 +1,28 @@
 """Metrics collection and reporting for simulation experiments."""
 
 from .collector import MetricsRegistry, Sampler
+from .exposition import (
+    MetricFamily,
+    check_exposition,
+    registry_families,
+    render_families,
+    render_registry,
+)
 from .reporting import ascii_plot, format_series_csv, format_table
 from .timeseries import Histogram, SummaryStat, TimeSeries
 
 __all__ = [
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "Sampler",
     "SummaryStat",
     "TimeSeries",
     "ascii_plot",
+    "check_exposition",
     "format_series_csv",
     "format_table",
+    "registry_families",
+    "render_families",
+    "render_registry",
 ]

@@ -277,6 +277,23 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         return self.quantile(p / 100.0)
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs in bound order.
+
+        Only occupied buckets appear (the sparse dict's keys), each paired
+        with the count of samples at or below its upper bound, and the
+        list always ends with ``(inf, count)`` — exactly the shape a
+        Prometheus histogram exposition needs (``le`` buckets must be
+        cumulative and non-decreasing, closed by ``+Inf``).
+        """
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        for idx in sorted(self._counts):
+            cumulative += self._counts[idx]
+            out.append((self._bucket_bounds(idx)[1], cumulative))
+        out.append((math.inf, self.count))
+        return out
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram into this one (bucket-wise addition)."""
         if (other._lo != self._lo) or (other._growth != self._growth):

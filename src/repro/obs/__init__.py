@@ -15,6 +15,14 @@ from .export import (
     to_perfetto,
     validate_trace,
 )
+from .live import (
+    LiveTracer,
+    OpsLogger,
+    SnapshotWriter,
+    TelemetrySidecar,
+    bind_store_probe,
+    write_trace,
+)
 from .tracer import (
     ACTIVE,
     LEDGER_FIELDS,
@@ -29,8 +37,13 @@ __all__ = [
     "ACTIVE",
     "LEDGER_FIELDS",
     "QUANTILE_LABELS",
+    "LiveTracer",
+    "OpsLogger",
+    "SnapshotWriter",
+    "TelemetrySidecar",
     "Tracer",
     "attach_latency_report",
+    "bind_store_probe",
     "events_to_perfetto",
     "get_tracer",
     "ledger_violations",
@@ -39,6 +52,7 @@ __all__ = [
     "to_jsonl",
     "to_perfetto",
     "validate_trace",
+    "write_trace",
 ]
 
 

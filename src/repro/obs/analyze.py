@@ -45,6 +45,15 @@ def load_trace(path: str) -> Trace:
     return parse_jsonl(Path(path).read_text())
 
 
+def _ms_per_unit(meta: Dict[str, Any]) -> float:
+    """Native-duration-to-milliseconds factor for this trace.
+
+    Simulated traces record seconds; live traces declare
+    ``"time_unit": "ns"`` and record integer nanoseconds.
+    """
+    return 1e-6 if meta.get("time_unit") == "ns" else 1e3
+
+
 # ----------------------------------------------------------------------
 # summarize
 # ----------------------------------------------------------------------
@@ -71,14 +80,15 @@ def summarize(trace: Trace) -> str:
     )
 
     if spans:
+        ms = _ms_per_unit(meta)
         rows = []
         for name in sorted(spans):
             durations = spans[name]
             total = sum(durations)
             rows.append([
-                name, len(durations), total * 1e3,
-                (total / len(durations)) * 1e3,
-                max(durations) * 1e3,
+                name, len(durations), total * ms,
+                (total / len(durations)) * ms,
+                max(durations) * ms,
             ])
         parts.append("")
         parts.append(format_table(
@@ -155,6 +165,7 @@ def latency_breakdown(trace: Trace, per_vm: bool = False) -> str:
     snapshots = meta.get("histograms", {})
     if not snapshots:
         return "no latency histograms in trace"
+    ms = _ms_per_unit(meta)
     rows = []
     for name in sorted(snapshots, key=lambda n: (n.count("."), n)):
         if not per_vm and ".vm" in name:
@@ -163,8 +174,8 @@ def latency_breakdown(trace: Trace, per_vm: bool = False) -> str:
         if not hist.count:
             continue
         rows.append(
-            [name, hist.count, hist.mean * 1e3]
-            + [hist.quantile(q) * 1e3 for q, _ in QUANTILE_LABELS]
+            [name, hist.count, hist.mean * ms]
+            + [hist.quantile(q) * ms for q, _ in QUANTILE_LABELS]
         )
     scope = "per op/vm/pool" if per_vm else "per op"
     return format_table(

@@ -36,6 +36,7 @@ __all__ = [
     "parse_jsonl",
     "to_perfetto",
     "events_to_perfetto",
+    "time_scale_us",
     "validate_trace",
 ]
 
@@ -126,12 +127,24 @@ def _display_names(meta: Dict[str, Any], table: str) -> Dict[int, str]:
     return names
 
 
+def time_scale_us(meta: Dict[str, Any]) -> float:
+    """Multiplier from the trace's native time unit to microseconds.
+
+    Simulated traces record seconds; live wall-clock traces declare
+    ``"time_unit": "ns"`` in their meta record and record integer
+    nanoseconds.  One exporter and one analyzer serve both by scaling
+    through this.
+    """
+    return 1e-3 if meta.get("time_unit") == "ns" else 1e6
+
+
 def events_to_perfetto(meta: Dict[str, Any],
                        events: Iterable[Dict[str, Any]]) -> str:
     """Render parsed trace records as Chrome trace-event JSON."""
     trace_events: List[Dict[str, Any]] = []
     vm_names = _display_names(meta, "vm_names")
     pool_names = _display_names(meta, "pool_names")
+    scale = time_scale_us(meta)
     seen_pids: set = set()
     seen_tids: set = set()
     body: List[Dict[str, Any]] = []
@@ -144,13 +157,13 @@ def events_to_perfetto(meta: Dict[str, Any],
             "name": event["name"],
             "cat": event["name"].split(".", 1)[0],
             "ph": event["ph"],
-            "ts": event["ts"] * 1e6,  # simulated seconds -> microseconds
+            "ts": event["ts"] * scale,  # native unit -> microseconds
             "pid": pid,
             "tid": tid,
             "args": event["args"],
         }
         if event["ph"] == "X":
-            entry["dur"] = event["dur"] * 1e6
+            entry["dur"] = event["dur"] * scale
         else:
             entry["s"] = "t"  # thread-scoped instant
         body.append(entry)

@@ -1,0 +1,495 @@
+"""Wall-clock telemetry for the live service path (``repro.obs.live``).
+
+The simulator's flight recorder (:class:`~repro.obs.tracer.Tracer`)
+thinks in simulated seconds.  This module extends it to real time so one
+toolchain — the JSONL/Perfetto exporters, ``python -m repro.obs``
+validation and analysis — reads both kinds of trace:
+
+* :class:`LiveTracer` — a tracer whose clock is injected (default
+  ``time.monotonic_ns``) and whose native unit is integer nanoseconds.
+  Its meta record declares ``"time_unit": "ns"``, which the exporters
+  and analyzers use to scale; the simulated-time semantics of the base
+  class are untouched.
+* :class:`LiveSpan` — a context manager for instrumenting request-path
+  sections (``with tracer.span("cmd.get", tenant=t):``), usable across
+  ``await`` points because begin/end are explicit counter updates.
+* :class:`OpsLogger` — structured JSON operational logging with a
+  rate-limited slow-op log.
+* :class:`TelemetrySidecar` — a stdlib-asyncio HTTP endpoint on the
+  service's own event loop serving ``/metrics`` (Prometheus text
+  exposition via :mod:`repro.metrics.exposition`), ``/healthz``, and
+  ``/stats.json``.
+* :class:`SnapshotWriter` — a periodic task appending counter deltas to
+  a JSONL run artifact that the loadgen and benchmarks can assert
+  against, emitting eviction-pressure ops events as a side effect.
+* :func:`bind_store_probe` — hooks :class:`repro.service.store.DiskStore`
+  I/O timing into a tracer as ``store.*`` spans.
+
+Nothing here touches the simulator: importing this module does not
+change :mod:`repro.obs.tracer`, and fixed-seed fingerprints are pinned
+by the perf-smoke goldens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..metrics.exposition import (
+    MetricFamily,
+    registry_families,
+    render_families,
+)
+from ..metrics.timeseries import Histogram
+from .export import to_jsonl
+from .tracer import Tracer
+
+__all__ = [
+    "LiveTracer",
+    "LiveSpan",
+    "OpsLogger",
+    "TelemetrySidecar",
+    "SnapshotWriter",
+    "service_families",
+    "bind_store_probe",
+    "write_trace",
+]
+
+_NS_PER_S = 1_000_000_000
+
+
+class LiveSpan:
+    """One in-flight wall-clock span, closed by ``with`` exit.
+
+    Unlike the simulator's generator-driven spans (begin/end around a
+    ``yield``), live spans bracket ``await``-ful request handling, so
+    the context-manager shape guarantees the close even on exceptions —
+    the validator's span-balance check stays strict for live traces.
+    """
+
+    __slots__ = ("_tracer", "name", "vm", "pool", "args", "_t0")
+
+    def __init__(self, tracer: "LiveTracer", name: str,
+                 vm: Optional[int] = None, pool: Optional[int] = None,
+                 **args: Any) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.vm = vm
+        self.pool = pool
+        self.args = args
+        self._t0 = 0
+
+    def note(self, **args: Any) -> None:
+        """Attach arguments discovered mid-span (hit/miss, status, ...)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "LiveSpan":
+        self._tracer.span_begin()
+        self._t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.span_end(
+            self.name, self._t0, self._tracer.clock(),
+            vm=self.vm, pool=self.pool, **self.args)
+
+
+class LiveTracer(Tracer):
+    """The flight recorder on a wall clock.
+
+    The ring buffer, sampling, ledger, and export machinery are the base
+    class's; only the units change.  Timestamps come exclusively from
+    the injected ``clock`` (monotonic integer nanoseconds), so instant
+    events stay monotone and the validator's ordering check holds.
+    Latency histograms are created nanosecond-bucketed
+    (:meth:`Histogram.wallclock_ns`), and :meth:`latency_rows` scales
+    ns to the milliseconds the report tabulates.
+    """
+
+    #: Declared in :meth:`meta` so exporters/analyzers scale correctly.
+    time_unit = "ns"
+    _MS_PER_UNIT = 1e-6  # ns -> ms
+
+    def __init__(self, max_events: int = 200_000, sample: int = 1,
+                 clock=time.monotonic_ns) -> None:
+        super().__init__(max_events=max_events, sample=sample)
+        self.clock = clock
+
+    def now(self) -> int:
+        """Current timestamp in this tracer's native unit (ns)."""
+        return self.clock()
+
+    def span(self, name: str, vm: Optional[int] = None,
+             pool: Optional[int] = None, **args: Any) -> LiveSpan:
+        """A context-managed span timed on this tracer's clock."""
+        return LiveSpan(self, name, vm=vm, pool=pool, **args)
+
+    def histogram(self, name: str) -> Histogram:
+        """Nanosecond-bucketed histogram ``name`` (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram.wallclock_ns(name)
+            self._histograms[name] = hist
+            for registry in self._registries:
+                registry.register_histogram(hist)
+        return hist
+
+    def meta(self) -> Dict[str, Any]:
+        meta = super().meta()
+        meta["time_unit"] = self.time_unit
+        return meta
+
+
+def write_trace(tracer: Tracer, path: str) -> None:
+    """Serialize a tracer to a JSONL trace file."""
+    Path(path).write_text(to_jsonl(tracer))
+
+
+# ----------------------------------------------------------------------
+# Structured operational logging
+# ----------------------------------------------------------------------
+
+class OpsLogger:
+    """One-JSON-object-per-line operational log.
+
+    Every record carries ``event`` and a monotonic ``t_ns``; the rest is
+    the caller's fields.  :meth:`slow_op` is the latency tripwire: ops
+    slower than ``slow_op_ns`` are logged, rate-limited to
+    ``slow_op_per_s`` records per one-second window so a latency storm
+    cannot amplify itself through logging I/O (the ``suppressed``
+    counter records what the limiter swallowed).
+    """
+
+    def __init__(self, stream=None, slow_op_ns: int = 10_000_000,
+                 slow_op_per_s: int = 10, clock=time.monotonic_ns) -> None:
+        if slow_op_per_s < 1:
+            raise ValueError(
+                f"slow_op_per_s must be >= 1, got {slow_op_per_s}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.slow_op_ns = slow_op_ns
+        self.slow_op_per_s = slow_op_per_s
+        self.clock = clock
+        self.emitted = 0
+        self.suppressed = 0
+        self._window_start: Optional[int] = None
+        self._window_emitted = 0
+
+    def log(self, event: str, **fields: Any) -> None:
+        """Emit one record unconditionally."""
+        record: Dict[str, Any] = {"event": event, "t_ns": self.clock()}
+        record.update(fields)
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.stream.flush()
+        self.emitted += 1
+
+    def slow_op(self, op: str, tenant: str, dur_ns: int,
+                **fields: Any) -> bool:
+        """Log a slow op if over threshold and under the rate limit.
+
+        Returns whether a record was written (False: fast op or
+        suppressed).
+        """
+        if dur_ns < self.slow_op_ns:
+            return False
+        now = self.clock()
+        if (self._window_start is None
+                or now - self._window_start >= _NS_PER_S):
+            self._window_start = now
+            self._window_emitted = 0
+        if self._window_emitted >= self.slow_op_per_s:
+            self.suppressed += 1
+            return False
+        self._window_emitted += 1
+        self.log("slow_op", op=op, tenant=tenant, dur_ns=dur_ns,
+                 threshold_ns=self.slow_op_ns, **fields)
+        return True
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition of the service's state
+# ----------------------------------------------------------------------
+
+#: Per-tenant monotone counters from ``ServiceCache.stats()``.
+_TENANT_COUNTERS = (
+    "gets", "get_hits", "puts", "puts_stored", "evictions",
+    "put_rejected_admission", "put_rejected_capacity",
+)
+#: Per-tenant point-in-time gauges.
+_TENANT_GAUGES = ("used_blocks", "entitlement_blocks")
+
+
+def service_families(cache, protocol=None,
+                     prefix: str = "dd") -> List[MetricFamily]:
+    """The service's full metric set as exposition families.
+
+    Per-tenant hit/miss/eviction counters (``tenant`` label), host
+    occupancy gauges, server connection/op counters, and everything in
+    the cache's :class:`MetricsRegistry` — which includes the
+    nanosecond latency histograms the protocol layer records
+    (``dd_service_lat_get`` et al.) and any bound tracer histograms.
+    """
+    snapshot = cache.stats()
+    host = snapshot.pop("_host", {})
+    tenants = sorted(snapshot)
+    families: List[MetricFamily] = []
+
+    for field in _TENANT_COUNTERS:
+        family = MetricFamily(f"{prefix}_tenant_{field}_total", "counter")
+        for tenant in tenants:
+            family.add(snapshot[tenant][field], labels={"tenant": tenant})
+        families.append(family)
+    misses = MetricFamily(f"{prefix}_tenant_get_misses_total", "counter")
+    for tenant in tenants:
+        misses.add(snapshot[tenant]["gets"] - snapshot[tenant]["get_hits"],
+                   labels={"tenant": tenant})
+    families.append(misses)
+    for field in _TENANT_GAUGES:
+        family = MetricFamily(f"{prefix}_tenant_{field}", "gauge")
+        for tenant in tenants:
+            family.add(snapshot[tenant][field], labels={"tenant": tenant})
+        families.append(family)
+
+    for field in sorted(host):
+        family = MetricFamily(f"{prefix}_cache_{field}", "gauge")
+        family.add(host[field])
+        families.append(family)
+
+    if protocol is not None:
+        for field in ("connections", "ops", "protocol_errors"):
+            family = MetricFamily(
+                f"{prefix}_server_{field}_total", "counter")
+            family.add(getattr(protocol, field))
+            families.append(family)
+
+    families.extend(registry_families(cache.registry, prefix=prefix))
+    return families
+
+
+class TelemetrySidecar:
+    """Minimal HTTP/1.0 metrics endpoint on the service's event loop.
+
+    Stdlib-only by design (no aiohttp in the container): one readline
+    for the request line, headers drained and ignored, one response,
+    connection closed.  That is all a Prometheus scraper, ``curl``, or
+    a load balancer's health check needs.
+
+    Routes: ``/metrics`` (text exposition 0.0.4), ``/healthz`` (JSON
+    liveness), ``/stats.json`` (the ``stats`` command's content as
+    JSON, plus server counters and latency quantiles).
+    """
+
+    def __init__(self, cache, protocol=None, host: str = "127.0.0.1",
+                 port: int = 0, ops: Optional[OpsLogger] = None) -> None:
+        self.cache = cache
+        self.protocol = protocol
+        self.host = host
+        self.port = port
+        self.ops = ops
+        self.scrapes = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "TelemetrySidecar":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+
+    async def wait_closed(self) -> None:
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # -- rendering (sync, shared with tests and the fleet) --------------
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` body."""
+        return render_families(
+            service_families(self.cache, protocol=self.protocol))
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``/stats.json`` body as a dict."""
+        payload: Dict[str, Any] = {"tenants": self.cache.stats()}
+        payload["host"] = payload["tenants"].pop("_host", {})
+        if self.protocol is not None:
+            payload["server"] = {
+                "connections": self.protocol.connections,
+                "ops": self.protocol.ops,
+                "protocol_errors": self.protocol.protocol_errors,
+            }
+        latency: Dict[str, Dict[str, float]] = {}
+        for op in ("get", "set", "delete"):
+            hist = self.cache.registry.wallclock_histogram(
+                f"service.lat.{op}")
+            if hist.count:
+                latency[op] = {
+                    "count": hist.count,
+                    "p50_ns": hist.quantile(0.5),
+                    "p99_ns": hist.quantile(0.99),
+                }
+        payload["latency"] = latency
+        payload["scrapes"] = self.scrapes
+        return payload
+
+    def _route(self, path: str):
+        if path == "/metrics":
+            self.scrapes += 1
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    self.render_metrics())
+        if path == "/healthz":
+            return (200, "application/json",
+                    json.dumps({"ok": True}) + "\n")
+        if path == "/stats.json":
+            return (200, "application/json",
+                    json.dumps(self.stats_payload(), sort_keys=True) + "\n")
+        return (404, "text/plain", "not found\n")
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            while True:  # drain headers; this endpoint ignores them all
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if not parts or parts[0] not in ("GET", "HEAD"):
+                status, ctype, body = 405, "text/plain", "GET only\n"
+            else:
+                status, ctype, body = self._route(path)
+            reason = {200: "OK", 404: "Not Found",
+                      405: "Method Not Allowed"}[status]
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head if parts and parts[0] == "HEAD"
+                         else head + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # a scraper that hung up mid-response costs nothing
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Periodic registry-delta snapshots
+# ----------------------------------------------------------------------
+
+class SnapshotWriter:
+    """Append counter totals + deltas to a JSONL run artifact.
+
+    Each record: ``{"event": "snapshot", "seq", "t_ns", "totals",
+    "delta"}`` where ``totals`` flattens ``ServiceCache.stats()`` (and
+    the protocol counters) to ``"scope.field"`` keys and ``delta`` holds
+    only the keys that moved since the previous snapshot.  Loadgen and
+    benchmarks assert against this artifact; an interval with a nonzero
+    eviction delta additionally emits an ``eviction_pressure`` ops-log
+    event (the interval itself bounds the event rate).
+    """
+
+    def __init__(self, path: str, cache, protocol=None,
+                 interval_s: float = 2.0, tracer: Optional[LiveTracer] = None,
+                 ops: Optional[OpsLogger] = None,
+                 clock=time.monotonic_ns) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be positive, got {interval_s}")
+        self.path = path
+        self.cache = cache
+        self.protocol = protocol
+        self.interval_s = interval_s
+        self.tracer = tracer
+        self.ops = ops
+        self.clock = clock
+        self.seq = 0
+        self._last: Dict[str, float] = {}
+
+    def totals(self) -> Dict[str, float]:
+        """Current counters, flattened to ``scope.field`` keys."""
+        flat: Dict[str, float] = {}
+        for scope, fields in self.cache.stats().items():
+            for field, value in fields.items():
+                flat[f"{scope}.{field}"] = value
+        if self.protocol is not None:
+            flat["server.connections"] = self.protocol.connections
+            flat["server.ops"] = self.protocol.ops
+            flat["server.protocol_errors"] = self.protocol.protocol_errors
+        return flat
+
+    def write_once(self) -> Dict[str, float]:
+        """Take one snapshot now; returns the delta it recorded."""
+        totals = self.totals()
+        delta = {
+            key: value - self._last.get(key, 0)
+            for key, value in totals.items()
+            if value != self._last.get(key, 0)
+        }
+        record = {
+            "event": "snapshot", "seq": self.seq, "t_ns": self.clock(),
+            "totals": totals, "delta": delta,
+        }
+        with open(self.path, "a") as artifact:
+            artifact.write(json.dumps(record, sort_keys=True) + "\n")
+        evicted = sum(
+            value for key, value in delta.items()
+            if key.endswith(".evictions"))
+        if evicted and self.ops is not None:
+            self.ops.log("eviction_pressure", evicted_blocks=evicted,
+                         interval_s=self.interval_s)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "obs.snapshot", self.tracer.clock(), seq=self.seq,
+                changed=len(delta))
+        self._last = totals
+        self.seq += 1
+        return delta
+
+    async def run(self) -> None:
+        """Snapshot every ``interval_s`` until cancelled."""
+        while True:
+            await asyncio.sleep(self.interval_s)
+            self.write_once()
+
+
+# ----------------------------------------------------------------------
+# DiskStore I/O probing
+# ----------------------------------------------------------------------
+
+def bind_store_probe(store, tracer: LiveTracer, registry=None):
+    """Attach a timing probe to a :class:`DiskStore`.
+
+    The store times its own SQLite + blob work (``t0_ns``/``t1_ns`` from
+    ``time.monotonic_ns``) and calls the probe once per op.  The probe
+    re-bases the interval onto the tracer's clock — identical in
+    production, but it keeps a test's injected fake clock coherent —
+    and records a ``store.{op}`` span plus a ``service.disk.{op}``
+    nanosecond histogram sample.
+    """
+    def probe(op: str, t0_ns: int, t1_ns: int, nbytes: int) -> None:
+        t1 = tracer.clock()
+        t0 = t1 - (t1_ns - t0_ns)
+        tracer.span_begin()
+        tracer.span_end(f"store.{op}", t0, t1, nbytes=nbytes)
+        if registry is not None:
+            registry.wallclock_histogram(
+                f"service.disk.{op}").add(t1_ns - t0_ns)
+
+    store.probe = probe
+    return probe

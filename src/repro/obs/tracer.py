@@ -63,6 +63,13 @@ QUANTILE_LABELS = (
 class Tracer:
     """Ring-buffered flight recorder plus provenance ledger."""
 
+    #: Multiplier turning this tracer's native duration unit into the
+    #: milliseconds :meth:`latency_rows` tabulates.  The base tracer
+    #: records simulated seconds; the wall-clock subclass
+    #: (:class:`repro.obs.live.LiveTracer`) records integer nanoseconds
+    #: and overrides this with ``1e-6``.
+    _MS_PER_UNIT = 1e3
+
     def __init__(self, max_events: int = 200_000, sample: int = 1) -> None:
         if max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events}")
@@ -194,8 +201,9 @@ class Tracer:
             if not hist.count:
                 continue
             rows.append(
-                [name, hist.count, hist.mean * 1e3]
-                + [hist.quantile(q) * 1e3 for q, _ in QUANTILE_LABELS]
+                [name, hist.count, hist.mean * self._MS_PER_UNIT]
+                + [hist.quantile(q) * self._MS_PER_UNIT
+                   for q, _ in QUANTILE_LABELS]
             )
         return rows
 

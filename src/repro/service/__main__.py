@@ -1,12 +1,30 @@
-"""CLI: ``python -m repro.service --port 11311 --dir /tmp/ddcache``."""
+"""CLI: ``python -m repro.service --port 11311 --dir /tmp/ddcache``.
+
+Telemetry flags wire in :mod:`repro.obs.live`: ``--metrics-port`` starts
+the Prometheus/``/stats.json`` sidecar on the same event loop,
+``--trace`` records a wall-clock span trace written at shutdown (read it
+with ``python -m repro.obs``), ``--ops-log`` appends structured JSON
+operational events (otherwise they go to stderr), and ``--snapshot``
+appends periodic counter-delta records benchmarks can assert against.
+"""
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import signal
 import sys
 
 from ..endurance import ADMISSION_POLICIES
+from ..obs.live import (
+    LiveTracer,
+    OpsLogger,
+    SnapshotWriter,
+    TelemetrySidecar,
+    bind_store_probe,
+    write_trace,
+)
 from .cache import ServiceCache
 from .protocol import MAX_VALUE_BYTES
 from .server import CacheServer
@@ -36,36 +54,121 @@ def build_parser() -> argparse.ArgumentParser:
                         default=MAX_VALUE_BYTES)
     parser.add_argument("--no-fsync", action="store_true",
                         help="skip per-value fsync (benchmarks only)")
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument("--metrics-port", type=int, default=None,
+                           help="serve /metrics, /healthz, /stats.json on "
+                                "this port (0 picks a free one)")
+    telemetry.add_argument("--metrics-host", default="127.0.0.1")
+    telemetry.add_argument("--trace", default=None, metavar="PATH",
+                           help="record a wall-clock JSONL trace, written "
+                                "at shutdown")
+    telemetry.add_argument("--trace-sample", type=int, default=1,
+                           help="keep 1-in-N span events in the trace ring")
+    telemetry.add_argument("--ops-log", default=None, metavar="PATH",
+                           help="append structured JSON ops events here "
+                                "(default: stderr)")
+    telemetry.add_argument("--slow-op-ms", type=float, default=10.0,
+                           help="slow-op log threshold in milliseconds")
+    telemetry.add_argument("--snapshot", default=None, metavar="PATH",
+                           help="append periodic counter-delta snapshots "
+                                "to this JSONL artifact")
+    telemetry.add_argument("--snapshot-interval", type=float, default=2.0,
+                           help="seconds between snapshots")
     return parser
 
 
-async def _run(args: argparse.Namespace) -> None:
+async def _run(args: argparse.Namespace, ops_stream=None) -> None:
+    ops = OpsLogger(stream=ops_stream,
+                    slow_op_ns=int(args.slow_op_ms * 1e6))
+    tracer = LiveTracer(sample=args.trace_sample) if args.trace else None
+
     store = DiskStore(args.dir, sync_writes=not args.no_fsync)
+    if store.recovered_rows or store.recovered_orphans:
+        ops.log("store.recovery", rows=store.recovered_rows,
+                orphans=store.recovered_orphans, dir=store.directory)
     cache = ServiceCache(
         store,
         capacity_mb=args.capacity_mb,
         block_bytes=args.block_bytes,
         eviction_batch_mb=args.eviction_batch_mb,
         admission=args.admission,
+        tracer=tracer,
     )
+    if tracer is not None:
+        tracer.bind_registry(cache.registry)
+        bind_store_probe(store, tracer, registry=cache.registry)
+
     server = CacheServer(cache, host=args.host, port=args.port,
-                         max_value_bytes=args.max_value_bytes)
+                         max_value_bytes=args.max_value_bytes,
+                         tracer=tracer, ops_log=ops)
     await server.start()
     print(f"repro.service listening on {server.host}:{server.port} "
           f"(dir={store.directory}, capacity={args.capacity_mb}MB)",
           flush=True)
+
+    sidecar = None
+    if args.metrics_port is not None:
+        sidecar = TelemetrySidecar(cache, protocol=server.protocol,
+                                   host=args.metrics_host,
+                                   port=args.metrics_port, ops=ops)
+        await sidecar.start()
+        print(f"repro.service metrics on "
+              f"http://{sidecar.host}:{sidecar.port}/metrics", flush=True)
+    ops.log("server.start", host=server.host, port=server.port,
+            dir=store.directory, capacity_mb=args.capacity_mb,
+            metrics_port=sidecar.port if sidecar else None)
+
+    snapshot = None
+    snapshot_task = None
+    if args.snapshot:
+        snapshot = SnapshotWriter(
+            args.snapshot, cache, protocol=server.protocol,
+            interval_s=args.snapshot_interval, tracer=tracer, ops=ops)
+        snapshot.write_once()  # seq 0: the baseline totals
+        snapshot_task = asyncio.get_running_loop().create_task(
+            snapshot.run())
+
+    # Graceful shutdown on SIGINT/SIGTERM so the trace and the final
+    # snapshot are written even when CI kills the process.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            break  # event-loop signals unsupported; KeyboardInterrupt rules
     try:
-        await server.serve_forever()
+        await stop.wait()
     finally:
+        if snapshot_task is not None:
+            snapshot_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await snapshot_task
+        if snapshot is not None:
+            snapshot.write_once()  # final totals for post-run assertions
+        if sidecar is not None:
+            sidecar.close()
+            await sidecar.wait_closed()
+        ops.log("server.stop", ops=server.protocol.ops,
+                connections=server.protocol.connections,
+                protocol_errors=server.protocol.protocol_errors)
         await server.close()
+        if tracer is not None:
+            write_trace(tracer, args.trace)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # The ops stream opens here, outside the event loop: file I/O in the
+    # sync entry point, never inside an async def (sim-lint DD010).
+    ops_stream = open(args.ops_log, "a") if args.ops_log else None
     try:
-        asyncio.run(_run(args))
+        asyncio.run(_run(args, ops_stream))
     except KeyboardInterrupt:
         pass
+    finally:
+        if ops_stream is not None:
+            ops_stream.close()
     return 0
 
 

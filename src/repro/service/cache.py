@@ -74,6 +74,11 @@ class ServiceCache:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._tracer = tracer
         self._clock = clock
+        # Span/instant timestamps come from the tracer's own clock when
+        # it has one (LiveTracer: monotonic ns), falling back to the
+        # service clock — mixing bases would break the trace validator's
+        # instant-ordering check.
+        self._trace_now = getattr(tracer, "now", None) or clock
 
         self.engine = PolicyEngine(
             {StoreKind.MEMORY: 0, _SSD: self.capacity_blocks},
@@ -129,6 +134,57 @@ class ServiceCache:
 
     def get(self, tenant: str, key: str) -> Optional[Tuple[bytes, int, int]]:
         """``(value, flags, cas_id)`` on a hit, ``None`` on a miss."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._get(tenant, key)
+        tracer.span_begin()
+        t0 = self._trace_now()
+        found = None
+        try:
+            found = self._get(tenant, key)
+            return found
+        finally:
+            tracer.span_end(
+                "svc.get", t0, self._trace_now(), vm=self._vm_id,
+                pool=self.pool(tenant).pool_id, tenant=tenant,
+                hit=found is not None)
+
+    def set(self, tenant: str, key: str, value: bytes,
+            flags: int = 0) -> str:
+        """Store a value under Algorithm-1 capacity discipline."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._set(tenant, key, value, flags)
+        tracer.span_begin()
+        t0 = self._trace_now()
+        status = "error"
+        try:
+            status = self._set(tenant, key, value, flags)
+            return status
+        finally:
+            tracer.span_end(
+                "svc.put", t0, self._trace_now(), vm=self._vm_id,
+                pool=self.pool(tenant).pool_id, tenant=tenant,
+                status=status, nbytes=len(value))
+
+    def delete(self, tenant: str, key: str) -> bool:
+        """Remove a key; True if it was present."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._delete(tenant, key)
+        tracer.span_begin()
+        t0 = self._trace_now()
+        deleted = False
+        try:
+            deleted = self._delete(tenant, key)
+            return deleted
+        finally:
+            tracer.span_end(
+                "svc.delete", t0, self._trace_now(), vm=self._vm_id,
+                pool=self.pool(tenant).pool_id, tenant=tenant,
+                deleted=deleted)
+
+    def _get(self, tenant: str, key: str) -> Optional[Tuple[bytes, int, int]]:
         pool = self.pool(tenant)
         pool.stats.gets += 1
         entry_id = self._ids.get((tenant, key))
@@ -142,9 +198,8 @@ class ServiceCache:
         pool.stats.get_hits += 1
         return found
 
-    def set(self, tenant: str, key: str, value: bytes,
-            flags: int = 0) -> str:
-        """Store a value under Algorithm-1 capacity discipline."""
+    def _set(self, tenant: str, key: str, value: bytes,
+             flags: int = 0) -> str:
         pool = self.pool(tenant)
         pool.stats.puts += 1
         blocks = self._blocks_of(len(value))
@@ -177,8 +232,7 @@ class ServiceCache:
         pool.stats.ssd_writes += blocks
         return SetStatus.STORED
 
-    def delete(self, tenant: str, key: str) -> bool:
-        """Remove a key; True if it was present."""
+    def _delete(self, tenant: str, key: str) -> bool:
         pool = self.pool(tenant)
         pool.stats.flush_requests += 1
         entry_id = self._ids.get((tenant, key))
@@ -213,7 +267,17 @@ class ServiceCache:
             if round_ is None:
                 return False
             victim_pool = round_.victim_pool
+            tracer = self._tracer
+            t0 = 0
+            if tracer is not None:
+                tracer.span_begin()
+                t0 = self._trace_now()
             freed = self._evict_batch(victim_pool, blocks_needed)
+            if tracer is not None:
+                tracer.span_end(
+                    "svc.evict.round", t0, self._trace_now(),
+                    vm=self._vm_id, pool=victim_pool.pool_id,
+                    tenant=victim_pool.name, freed=freed)
             if freed == 0:
                 # The selected pool had nothing left (stale candidate);
                 # no other entity can be closer to its entitlement, so
@@ -240,7 +304,7 @@ class ServiceCache:
             freed += blocks
             if self._tracer is not None:
                 self._tracer.instant(
-                    "service.evict", self._clock(), vm=self._vm_id,
+                    "service.evict", self._trace_now(), vm=self._vm_id,
                     pool=pool.pool_id, tenant=tenant, blocks=blocks)
         return freed
 

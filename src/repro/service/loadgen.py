@@ -22,7 +22,7 @@ import random
 import time
 from typing import Dict, List, Optional
 
-from ..metrics import Histogram
+from ..metrics import Histogram, format_table
 
 __all__ = ["LoadResult", "run_load", "main"]
 
@@ -42,6 +42,11 @@ class LoadResult:
         self.protocol_errors = 0
         self.duration_s = 0.0
         self.latency = Histogram.wallclock_ns("loadgen.lat")
+        #: Per-op breakdowns: a get and the read-through set it triggers
+        #: have very different cost profiles, so the merged histogram
+        #: alone hides the write tail.
+        self.lat_get = Histogram.wallclock_ns("loadgen.lat.get")
+        self.lat_set = Histogram.wallclock_ns("loadgen.lat.set")
 
     @property
     def hit_ratio(self) -> float:
@@ -64,6 +69,10 @@ class LoadResult:
             "ops_per_s": round(self.ops_per_s, 1),
             "p50_ns": int(self.latency.quantile(0.5)),
             "p99_ns": int(self.latency.quantile(0.99)),
+            "get_p50_ns": int(self.lat_get.quantile(0.5)),
+            "get_p99_ns": int(self.lat_get.quantile(0.99)),
+            "set_p50_ns": int(self.lat_set.quantile(0.5)),
+            "set_p99_ns": int(self.lat_set.quantile(0.99)),
         }
 
     def merge(self, other: "LoadResult") -> None:
@@ -75,6 +84,23 @@ class LoadResult:
         self.protocol_errors += other.protocol_errors
         self.duration_s = max(self.duration_s, other.duration_s)
         self.latency.merge(other.latency)
+        self.lat_get.merge(other.lat_get)
+        self.lat_set.merge(other.lat_set)
+
+    def latency_table(self) -> str:
+        """Client-observed wall-clock latency per op type, in µs."""
+        rows = []
+        for label, hist in (("all", self.latency),
+                            ("get", self.lat_get),
+                            ("set", self.lat_set)):
+            if not hist.count:
+                continue
+            rows.append([label, hist.count, hist.mean / 1e3]
+                        + [hist.quantile(q) / 1e3
+                           for q in (0.5, 0.9, 0.99)])
+        return format_table(
+            ["op", "count", "mean(us)", "p50(us)", "p90(us)", "p99(us)"],
+            rows, title="-- client latency --", float_fmt="{:.1f}")
 
 
 def _zipf_key(rng: random.Random, keyspace: int) -> int:
@@ -127,7 +153,9 @@ async def _worker(host: str, port: int, tenant: str, ops: int,
         except ProtocolError:
             result.protocol_errors += 1
             value = None
-        result.latency.add(time.perf_counter_ns() - t0)
+        elapsed = time.perf_counter_ns() - t0
+        result.latency.add(elapsed)
+        result.lat_get.add(elapsed)
         result.gets += 1
         result.ops += 1
         if value is not None:
@@ -138,7 +166,9 @@ async def _worker(host: str, port: int, tenant: str, ops: int,
             f"set {key} 0 0 {len(payload)}\r\n".encode() + payload + _CRLF)
         await writer.drain()
         reply = await _read_reply(reader)
-        result.latency.add(time.perf_counter_ns() - t0)
+        elapsed = time.perf_counter_ns() - t0
+        result.latency.add(elapsed)
+        result.lat_set.add(elapsed)
         result.sets += 1
         result.ops += 1
         if reply.startswith(b"STORED"):
@@ -195,6 +225,8 @@ def main(argv=None) -> int:
         keyspace=args.keyspace, value_bytes=args.value_bytes,
         seed=args.seed))
     print(json.dumps(result.as_dict(), indent=2))
+    if result.ops:
+        print(result.latency_table())
     if result.protocol_errors:
         print(f"FAIL: {result.protocol_errors} protocol errors")
         return 1

@@ -19,13 +19,16 @@ error — the partial command is simply discarded.
 
 from __future__ import annotations
 
+# dd-lint: disable-file=DD010 (ServiceCache/DiskStore calls are bounded sub-ms blob+SQLite ops at memcached entry sizes; a thread offload costs more than it buys — see benchmarks/bench_service.py)
+
 import asyncio
 import time
 from typing import Optional
 
 from .cache import ServiceCache, SetStatus
 
-__all__ = ["MemcacheProtocol", "DEFAULT_TENANT", "MAX_VALUE_BYTES"]
+__all__ = ["MemcacheProtocol", "DEFAULT_TENANT", "MAX_VALUE_BYTES",
+           "parse_stats"]
 
 DEFAULT_TENANT = "default"
 #: Stock memcached's default item-size ceiling.
@@ -33,12 +36,28 @@ MAX_VALUE_BYTES = 1 << 20
 
 _CRLF = b"\r\n"
 
+#: Commands with dedicated span names; anything else is ``cmd.unknown``
+#: so a hostile client cannot balloon the tracer's span-name table.
+_COMMANDS = frozenset((
+    "set", "get", "gets", "delete", "flush_all", "stats", "version",
+    "tenant", "quit",
+))
+
+
+def _fmt_stat(value: float) -> str:
+    """Render one STAT value: integral stays ``int``, derived ratios
+    keep their fraction (``parse_stats`` mirrors this)."""
+    if float(value) == int(value):
+        return str(int(value))
+    return f"{value:.6g}"
+
 
 class MemcacheProtocol:
     """Per-server protocol state: one instance handles every connection."""
 
     def __init__(self, cache: ServiceCache,
-                 max_value_bytes: int = MAX_VALUE_BYTES) -> None:
+                 max_value_bytes: int = MAX_VALUE_BYTES,
+                 tracer=None, ops_log=None) -> None:
         self.cache = cache
         self.max_value_bytes = max_value_bytes
         #: ERROR/CLIENT_ERROR/SERVER_ERROR replies sent (the load
@@ -46,11 +65,32 @@ class MemcacheProtocol:
         self.protocol_errors = 0
         self.connections = 0
         self.ops = 0
+        #: Optional :class:`repro.obs.live.LiveTracer` for conn/cmd spans.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.live.OpsLogger` for the slow-op log.
+        self.ops_log = ops_log
 
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         """Serve one connection until EOF or ``quit``."""
         self.connections += 1
+        tracer = self.tracer
+        if tracer is None:
+            await self._serve(reader, writer)
+            return
+        conn_id = self.connections
+        tracer.instant("conn.accept", tracer.clock(), conn=conn_id)
+        tracer.span_begin()
+        t0 = tracer.clock()
+        ops_before = self.ops
+        try:
+            await self._serve(reader, writer)
+        finally:
+            tracer.span_end("conn", t0, tracer.clock(), conn=conn_id,
+                            ops=self.ops - ops_before)
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
         tenant = DEFAULT_TENANT
         try:
             while True:
@@ -88,7 +128,22 @@ class MemcacheProtocol:
     async def _dispatch(self, reader: asyncio.StreamReader,
                         writer: asyncio.StreamWriter,
                         parts: list, tenant: str) -> tuple:
-        """Run one command; returns ``(keep_going, tenant)``."""
+        """Run one command (span-wrapped); returns ``(keep_going, tenant)``."""
+        tracer = self.tracer
+        if tracer is None:
+            return await self._run_command(reader, writer, parts, tenant)
+        command = parts[0]
+        name = f"cmd.{command}" if command in _COMMANDS else "cmd.unknown"
+        tracer.span_begin()
+        t0 = tracer.clock()
+        try:
+            return await self._run_command(reader, writer, parts, tenant)
+        finally:
+            tracer.span_end(name, t0, tracer.clock(), tenant=tenant)
+
+    async def _run_command(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           parts: list, tenant: str) -> tuple:
         command = parts[0]
         self.ops += 1
         if command == "set":
@@ -105,7 +160,7 @@ class MemcacheProtocol:
             ok = await self._cmd_flush(writer, parts[1:], tenant)
             return (ok, tenant)
         if command == "stats":
-            ok = await self._cmd_stats(writer, tenant)
+            ok = await self._cmd_stats(writer, parts[1:], tenant)
             return (ok, tenant)
         if command == "version":
             ok = await self._reply(writer, b"VERSION repro-dd/1\r\n")
@@ -162,7 +217,7 @@ class MemcacheProtocol:
 
         t0 = time.perf_counter_ns()
         status = self.cache.set(tenant, key, body[:-2], flags)
-        self._observe("set", t0)
+        self._observe("set", t0, tenant)
         if status == SetStatus.STORED:
             return await self._reply(writer, b"STORED\r\n",
                                      suppress=noreply)
@@ -182,7 +237,7 @@ class MemcacheProtocol:
         for key in keys:
             t0 = time.perf_counter_ns()
             found = self.cache.get(tenant, key)
-            self._observe("get", t0)
+            self._observe("get", t0, tenant)
             if found is None:
                 continue
             value, flags, cas = found
@@ -204,7 +259,7 @@ class MemcacheProtocol:
                 error=True, suppress=noreply)
         t0 = time.perf_counter_ns()
         deleted = self.cache.delete(tenant, args[0])
-        self._observe("delete", t0)
+        self._observe("delete", t0, tenant)
         return await self._reply(
             writer, b"DELETED\r\n" if deleted else b"NOT_FOUND\r\n",
             suppress=noreply)
@@ -216,13 +271,24 @@ class MemcacheProtocol:
         return await self._reply(writer, b"OK\r\n", suppress=noreply)
 
     async def _cmd_stats(self, writer: asyncio.StreamWriter,
-                         tenant: str) -> bool:
+                         args: list, tenant: str) -> bool:
+        if args == ["tenants"]:
+            return await self._cmd_stats_tenants(writer)
+        if args:
+            return await self._reply(
+                writer, b"CLIENT_ERROR usage: stats [tenants]\r\n",
+                error=True)
         lines = []
         snapshot = self.cache.stats()
         for scope in sorted(snapshot):
-            for field in sorted(snapshot[scope]):
-                value = snapshot[scope][field]
-                lines.append(f"STAT {scope}:{field} {int(value)}\r\n")
+            fields = dict(snapshot[scope])
+            if scope != "_host":
+                gets = fields.get("gets", 0)
+                fields["hit_ratio"] = (
+                    fields.get("get_hits", 0) / gets if gets else 0.0)
+            for field in sorted(fields):
+                lines.append(
+                    f"STAT {scope}:{field} {_fmt_stat(fields[field])}\r\n")
         for op in ("get", "set", "delete"):
             hist = self.cache.registry.wallclock_histogram(
                 f"service.lat.{op}")
@@ -234,11 +300,38 @@ class MemcacheProtocol:
         lines.append("END\r\n")
         return await self._reply(writer, "".join(lines).encode("utf-8"))
 
+    async def _cmd_stats_tenants(self, writer: asyncio.StreamWriter) -> bool:
+        """``stats tenants``: the per-tenant breakdown over the wire —
+        ledger counters plus derived hit ratio, stored bytes, and each
+        tenant's share of the host's occupied blocks."""
+        lines = []
+        snapshot = self.cache.stats()
+        host = snapshot.pop("_host", {})
+        host_used = host.get("used_blocks", 0)
+        stored_bytes = self.cache.store.tenant_bytes()
+        for tenant in sorted(snapshot):
+            fields = dict(snapshot[tenant])
+            gets = fields.get("gets", 0)
+            fields["hit_ratio"] = (
+                fields.get("get_hits", 0) / gets if gets else 0.0)
+            fields["bytes"] = stored_bytes.get(tenant, 0)
+            fields["occupancy_share"] = (
+                fields.get("used_blocks", 0) / host_used if host_used
+                else 0.0)
+            for field in sorted(fields):
+                lines.append(
+                    f"STAT {tenant}:{field} {_fmt_stat(fields[field])}\r\n")
+        lines.append("END\r\n")
+        return await self._reply(writer, "".join(lines).encode("utf-8"))
+
     # -- plumbing -------------------------------------------------------
 
-    def _observe(self, op: str, t0_ns: int) -> None:
-        self.cache.registry.wallclock_histogram(f"service.lat.{op}").add(
-            time.perf_counter_ns() - t0_ns)
+    def _observe(self, op: str, t0_ns: int, tenant: str) -> None:
+        duration = time.perf_counter_ns() - t0_ns
+        self.cache.registry.wallclock_histogram(
+            f"service.lat.{op}").add(duration)
+        if self.ops_log is not None:
+            self.ops_log.slow_op(op, tenant, duration)
 
     async def _reply(self, writer: asyncio.StreamWriter, payload: bytes,
                      error: bool = False, suppress: bool = False) -> bool:
@@ -257,10 +350,24 @@ class MemcacheProtocol:
 
 
 def parse_stats(payload: str) -> dict:
-    """Parse a ``stats`` reply into ``{name: int}`` (client-side helper)."""
-    out = {}
+    """Parse a ``stats`` reply (client-side helper).
+
+    Counter values come back ``int``, derived values (hit ratios,
+    occupancy shares — anything with a fraction) come back ``float``,
+    and a value that is neither survives as the raw string rather than
+    raising mid-parse.
+    """
+    out: dict = {}
     for line in payload.splitlines():
         parts = line.split()
-        if len(parts) == 3 and parts[0] == "STAT":
-            out[parts[1]] = int(parts[2])
+        if len(parts) != 3 or parts[0] != "STAT":
+            continue
+        raw = parts[2]
+        try:
+            out[parts[1]] = int(raw)
+        except ValueError:
+            try:
+                out[parts[1]] = float(raw)
+            except ValueError:
+                out[parts[1]] = raw
     return out

@@ -16,11 +16,13 @@ class CacheServer:
 
     def __init__(self, cache: ServiceCache, host: str = "127.0.0.1",
                  port: int = 11311,
-                 max_value_bytes: int = MAX_VALUE_BYTES) -> None:
+                 max_value_bytes: int = MAX_VALUE_BYTES,
+                 tracer=None, ops_log=None) -> None:
         self.cache = cache
         self.host = host
         self.port = port
-        self.protocol = MemcacheProtocol(cache, max_value_bytes)
+        self.protocol = MemcacheProtocol(cache, max_value_bytes,
+                                         tracer=tracer, ops_log=ops_log)
         self._server: Optional[asyncio.base_events.Server] = None
 
     async def start(self) -> None:

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["DiskStore", "StoredEntry"]
 
@@ -75,6 +76,11 @@ class DiskStore:
         self._db.execute(_SCHEMA)
         self.recovered_rows = 0
         self.recovered_orphans = 0
+        #: Optional I/O timing hook, ``probe(op, t0_ns, t1_ns, nbytes)``,
+        #: called once per data-path op with ``time.monotonic_ns`` stamps
+        #: (see :func:`repro.obs.live.bind_store_probe`).  ``None`` keeps
+        #: the data path one attribute read from the un-instrumented code.
+        self.probe: Optional[Callable[[str, int, int, int], None]] = None
         self.recover()
 
     # -- recovery -------------------------------------------------------
@@ -111,6 +117,15 @@ class DiskStore:
         transaction that inserts the new one, so no crash point can show
         two committed values for one key.
         """
+        if self.probe is None:
+            return self._set(tenant, key, value, flags)
+        t0 = time.monotonic_ns()
+        entry_id = self._set(tenant, key, value, flags)
+        self.probe("set", t0, time.monotonic_ns(), len(value))
+        return entry_id
+
+    def _set(self, tenant: str, key: str, value: bytes,
+             flags: int = 0) -> int:
         old = self._row_of(tenant, key)
         self._db.execute("BEGIN IMMEDIATE")
         if old is not None:
@@ -140,6 +155,15 @@ class DiskStore:
 
     def get(self, tenant: str, key: str) -> Optional[Tuple[bytes, int, int]]:
         """``(value, flags, entry_id)`` of a committed key, else ``None``."""
+        if self.probe is None:
+            return self._get(tenant, key)
+        t0 = time.monotonic_ns()
+        found = self._get(tenant, key)
+        self.probe("get", t0, time.monotonic_ns(),
+                   len(found[0]) if found is not None else 0)
+        return found
+
+    def _get(self, tenant: str, key: str) -> Optional[Tuple[bytes, int, int]]:
         row = self._row_of(tenant, key, ready_only=True)
         if row is None:
             return None
@@ -166,6 +190,13 @@ class DiskStore:
         Row removal commits before the unlink: a crash in between leaves
         an orphan blob for :meth:`recover`, never a row without a blob.
         """
+        if self.probe is None:
+            return self._delete_entry(entry_id)
+        t0 = time.monotonic_ns()
+        self._delete_entry(entry_id)
+        self.probe("delete", t0, time.monotonic_ns(), 0)
+
+    def _delete_entry(self, entry_id: int) -> None:
         self._db.execute("BEGIN IMMEDIATE")
         self._db.execute("DELETE FROM entries WHERE id = ?", (entry_id,))
         self._db.execute("COMMIT")

@@ -1,0 +1,52 @@
+"""DD010 fixture: blocking calls inside ``async def`` bodies.
+
+The service event loop is single-threaded; each construct below parks
+it — sleeping, opening files, fsyncing, or running the synchronous
+DiskStore data path — and must fire DD010 exactly once.  The sync-def
+and ``asyncio.sleep`` counter-examples at the bottom must stay clean.
+"""
+
+import asyncio
+import os
+import time
+
+
+async def nap_between_retries() -> None:
+    time.sleep(0.5)  # BAD: stalls every connection for 500ms
+
+
+async def append_audit_line(line: str) -> None:
+    log = open("/tmp/audit.log", "a")  # BAD: disk I/O on the event loop
+    log.write(line)
+    log.close()
+
+
+async def force_durable(fd: int) -> None:
+    os.fsync(fd)  # BAD: blocks until the kernel flushes
+
+
+class Handler:
+    def __init__(self, store) -> None:
+        self.store = store
+
+    async def handle_set(self, tenant: str, key: str, value: bytes) -> None:
+        self.store.set(tenant, key, value)  # BAD: SQLite txn + blob write
+
+
+# -- clean counter-examples ---------------------------------------------
+
+
+async def polite_nap() -> None:
+    await asyncio.sleep(0.5)  # fine: yields the loop
+
+
+def sync_setup(path: str):
+    time.sleep(0.01)     # fine: not on the event loop
+    return open(path)    # fine: sync entry point owns file I/O
+
+
+async def spawn_worker() -> None:
+    def flush_later(fd: int) -> None:
+        os.fsync(fd)  # fine: a nested sync def only blocks if called
+
+    asyncio.get_running_loop().run_in_executor(None, flush_later, 3)

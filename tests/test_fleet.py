@@ -419,6 +419,25 @@ class TestFleetTracing:
         assert "obs.lat.host0.get" in rows
         assert "obs.lat.host1.get" in rows
 
+    def test_metrics_export_labels_every_host(self, no_tracer):
+        from repro.metrics import check_exposition
+
+        fleet, _, _ = build_fleet(hosts=2, pressured=(0, 1))
+        for node in fleet.nodes:  # sampling is opt-in: it adds events
+            node.host.sampler.start()
+        fleet.run(until=12.0)  # past the sampler interval: gauges exist
+        fleet.close()
+        text = fleet.export_metrics_text()
+        assert check_exposition(text) == []
+        assert 'host="host0"' in text
+        assert 'host="host1"' in text
+        # Same-name families from different hosts merge into one family:
+        # each metric name appears in exactly one # TYPE line.
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE")]
+        names = [line.split()[2] for line in type_lines]
+        assert len(names) == len(set(names))
+
 
 # ---------------------------------------------------------------------------
 # Determinism and equivalence

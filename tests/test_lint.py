@@ -35,6 +35,7 @@ class RuleFiringTests(unittest.TestCase):
         ("dd007_swallowed_errors.py", "DD007", 3),
         ("dd008_ledger_bypass.py", "DD008", 3),
         ("core/dd009_linear_list_ops.py", "DD009", 5),
+        ("service/dd010_blocking_async.py", "DD010", 4),
         ("core/victim.py", "TC001", 2),
         ("core/engine.py", "TC001", 2),
     ]
@@ -82,6 +83,22 @@ class RuleFiringTests(unittest.TestCase):
         findings = lint_fixture("dd007_swallowed_errors.py")
         self.assertEqual(
             sum(1 for f in findings if f.rule_id == "DD007"), 3)
+
+    def test_dd010_is_scoped_to_realtime_modules(self):
+        # The same blocking constructs outside service/ and obs/live.py
+        # are not DD010's business — simulated code has no event loop
+        # (DD001 polices its clock reads instead).
+        import shutil
+        import tempfile
+
+        src = FIXTURES / "service" / "dd010_blocking_async.py"
+        with tempfile.TemporaryDirectory() as tmp:
+            elsewhere = Path(tmp) / "repro" / "core" / "blocking.py"
+            elsewhere.parent.mkdir(parents=True)
+            shutil.copy(src, elsewhere)
+            findings = lint_paths([elsewhere], ALL_RULES, root=Path(tmp))
+        self.assertEqual(
+            [f for f in findings if f.rule_id == "DD010"], [])
 
     def test_typed_core_gate_covers_policy_engine(self):
         self.assertIn("core/engine.py", TYPED_CORE_MODULES)

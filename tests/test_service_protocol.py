@@ -326,6 +326,68 @@ class MetricsWiringTests(ServerHarness):
         self.assertIn("lat:set:p99_ns", joined)
 
 
+class StatsCommandTests(ServerHarness):
+    async def read_stats(self, reader, writer, line: bytes) -> str:
+        writer.write(line)
+        await writer.drain()
+        lines = []
+        while True:
+            reply = await reader.readline()
+            if reply.startswith((b"END", b"CLIENT_ERROR")):
+                lines.append(reply.decode())
+                return "".join(lines)
+            lines.append(reply.decode())
+
+    async def test_stats_reports_float_hit_ratio_and_parses(self):
+        from repro.service.protocol import parse_stats
+
+        reader, writer = await self.connect()
+        await self.command(reader, writer, b"set k 0 0 1\r\nv\r\n")
+        writer.write(b"get k\r\nget missing\r\n")
+        await writer.drain()
+        await self.read_get(reader)
+        await self.read_get(reader)
+        payload = await self.read_stats(reader, writer, b"stats\r\n")
+        writer.close()
+        parsed = parse_stats(payload)
+        # Counters parse as ints, the derived ratio as a true float —
+        # the old int-only parser dropped every fractional value.
+        self.assertEqual(parsed["default:gets"], 2)
+        self.assertEqual(parsed["default:get_hits"], 1)
+        self.assertIsInstance(parsed["default:hit_ratio"], float)
+        self.assertAlmostEqual(parsed["default:hit_ratio"], 0.5)
+
+    async def test_stats_tenants_breakdown(self):
+        from repro.service.protocol import parse_stats
+
+        reader, writer = await self.connect()
+        await self.command(reader, writer, b"tenant alpha\r\n")
+        await self.command(reader, writer, b"set a 0 0 4\r\nAAAA\r\n")
+        await self.command(reader, writer, b"tenant beta\r\n")
+        await self.command(reader, writer, b"set b 0 0 4\r\nBBBB\r\n")
+        payload = await self.read_stats(reader, writer, b"stats tenants\r\n")
+        writer.close()
+        parsed = parse_stats(payload)
+        self.assertEqual(parsed["alpha:puts_stored"], 1)
+        self.assertEqual(parsed["beta:puts_stored"], 1)
+        self.assertEqual(parsed["alpha:bytes"], 4)
+        # Two tenants, one stored block each: shares halve and sum to 1.
+        self.assertAlmostEqual(parsed["alpha:occupancy_share"], 0.5)
+        self.assertAlmostEqual(
+            parsed["alpha:occupancy_share"]
+            + parsed["beta:occupancy_share"], 1.0)
+        self.assertNotIn("_host:used_blocks", parsed)
+
+    async def test_stats_unknown_subcommand_is_client_error(self):
+        reader, writer = await self.connect()
+        reply = await self.command(reader, writer, b"stats bogus\r\n")
+        self.assertTrue(reply.startswith(b"CLIENT_ERROR"), reply)
+        # The connection survives a bad sub-command.
+        reply = await self.command(reader, writer, b"version\r\n")
+        self.assertTrue(reply.startswith(b"VERSION"), reply)
+        writer.close()
+
+
 class AdmissionTests(ServerHarness):
     admission = "second_access"
 
