@@ -114,6 +114,14 @@ class DoubleDeckerCache(HypervisorCacheBase):
         #: ``ssd_writes`` of pools that no longer exist, so the auditor's
         #: pool-vs-backend write reconciliation survives destroy_pool.
         self._ssd_writes_destroyed = 0
+        #: Same idea for the pool-vs-store-counter reconciliations: the
+        #: destroyed pools' evictions and put-rejection buckets, so the
+        #: monotone ``store_counters`` ledger stays exactly accounted
+        #: across pool lifetimes (DD014 auditor coverage).
+        self._evictions_destroyed = 0
+        self._put_rejected_destroyed = 0
+        self._put_rejected_admission_destroyed = 0
+        self._put_rejected_backpressure_destroyed = 0
 
         # Decision-provenance label: unique per cache instance so traces
         # from experiments that build several caches (whose pool ids all
@@ -232,8 +240,19 @@ class DoubleDeckerCache(HypervisorCacheBase):
     def destroy_pool(self, vm_id: int, pool_id: int) -> None:
         pool = self._require_pool(vm_id, pool_id)
         self._drain_pool(pool)
-        # Keep the write reconciliation exact across pool lifetimes.
+        # Keep the write and rejection reconciliations exact across pool
+        # lifetimes.
         self._ssd_writes_destroyed += pool.stats.ssd_writes
+        self._evictions_destroyed += pool.stats.evictions
+        self._put_rejected_destroyed += (
+            pool.stats.put_rejected_policy
+            + pool.stats.put_rejected_capacity
+            + pool.stats.put_rejected_admission
+            + pool.stats.put_rejected_backpressure
+        )
+        self._put_rejected_admission_destroyed += pool.stats.put_rejected_admission
+        self._put_rejected_backpressure_destroyed += (
+            pool.stats.put_rejected_backpressure)
         self.engine.destroy_pool(vm_id, pool_id)
         tracer = _obs.ACTIVE
         if tracer is not None and self._obs_label is not None:

@@ -1,0 +1,467 @@
+"""Project-wide call graph over the ``repro`` package (zero dependencies).
+
+The whole-program analyzers (:mod:`repro.lint.taint`,
+:mod:`repro.lint.analysis`) need to follow a value *through* helpers:
+``select_victim()`` calling ``jitter()`` in another module must become an
+edge, or interprocedural taint is blind.  This module builds that graph
+from nothing but the stdlib ``ast``:
+
+* :class:`Project` — parses every file whose path contains a ``repro/``
+  component, derives its dotted module name from the path (so the same
+  loader serves ``src/repro`` and the fixture mini-projects under
+  ``tests/lint_fixtures``), and records per-module import tables,
+  top-level functions, and classes with their methods.
+* :class:`CallGraph` — resolves each call site to a fully-qualified
+  function (``module:Class.method`` / ``module:func``) using, in order:
+  local definitions, ``from x import y as z`` member aliases, module
+  aliases (``import repro.core.victim as v`` and dotted absolute names),
+  ``self.method`` dispatch through the static base-class chain, a
+  receiver-name heuristic (``tracker.curve()`` resolves when a class
+  named like the receiver defines the method), and finally a
+  unique-name fallback (an attribute call resolves if exactly one class
+  in the whole project defines a method of that name).
+
+Resolution is deliberately *under*-approximate: an ambiguous call site
+produces no edge (a documented false-negative class) rather than a
+spurious one, so taint findings stay actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import LintContext, load_context
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "own_nodes",
+]
+
+
+def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s.
+
+    Lambdas and comprehensions stay in (they run as part of the function);
+    nested function/class definitions do not (their bodies run later, on
+    their own activation), so a ``yield`` inside a nested generator must
+    not make the *outer* function look like a generator.
+    """
+    stack: List[ast.AST] = [func]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        first = False
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+@dataclass(frozen=True)
+class ImportTarget:
+    """What one locally-bound name refers to."""
+
+    module: str               # dotted absolute module, e.g. "repro.core.victim"
+    member: Optional[str]     # None: the name is bound to the module itself
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qual: str                 # "module:func" or "module:Class.method"
+    module: str
+    cls: Optional[str]
+    name: str
+    node: ast.AST             # FunctionDef | AsyncFunctionDef
+    rel: str                  # file path as reported in findings
+    is_async: bool
+    has_yield: bool
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: List[str] = field(default_factory=list)   # as written ("Rule", "m.Rule")
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str                 # dotted, e.g. "repro.core.victim"
+    rel: str
+    path: Path
+    tree: ast.Module
+    source: str
+    is_package: bool
+    imports: Dict[str, ImportTarget] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _module_name_for(rel: str) -> Optional[Tuple[str, bool]]:
+    """Dotted module name derived from the last ``repro/`` path marker.
+
+    Returns ``(name, is_package)`` or ``None`` for files outside any
+    ``repro`` tree (tests, benchmarks) — those are linted per-file but
+    take no part in whole-program analysis.
+    """
+    parts = rel.split("/")
+    try:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    tail = parts[idx:]
+    stem = tail[-1][:-3] if tail[-1].endswith(".py") else tail[-1]
+    if stem == "__init__":
+        return ".".join(tail[:-1]), True
+    return ".".join(tail[:-1] + [stem]), False
+
+
+class Project:
+    """Parsed modules of one (or several merged) ``repro`` trees."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.notes: List[str] = []
+        #: rel path -> LintContext (shared suppression tables).
+        self.contexts: Dict[str, LintContext] = {}
+
+    @classmethod
+    def load(cls, files: Sequence[Path], root: Optional[Path] = None) -> "Project":
+        project = cls()
+        for path in files:
+            ctx = load_context(path, root=root)
+            if ctx is None:       # unreadable / syntax error: per-file lint reports it
+                continue
+            named = _module_name_for(ctx.rel)
+            if named is None:
+                continue
+            name, is_package = named
+            if name in project.modules:
+                project.notes.append(
+                    f"module name collision: {ctx.rel} shadows "
+                    f"{project.modules[name].rel} as {name!r}; first wins"
+                )
+                continue
+            module = ModuleInfo(
+                name=name, rel=ctx.rel, path=path, tree=ctx.tree,  # type: ignore[arg-type]
+                source="\n".join(ctx.lines), is_package=is_package,
+            )
+            project.contexts[ctx.rel] = ctx
+            project.modules[name] = module
+        for module in project.modules.values():
+            project._index_module(module)
+        return project
+
+    # -- per-module indexing -------------------------------------------
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname:
+                        module.imports[local] = ImportTarget(alias.name, None)
+                    else:
+                        # ``import repro.core.victim`` binds ``repro``; dotted
+                        # call receivers are matched against full module
+                        # names directly, so only record the root package.
+                        module.imports.setdefault(
+                            local, ImportTarget(alias.name.split(".")[0], None))
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_import_from(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}"
+                    if submodule in self.modules:
+                        module.imports[local] = ImportTarget(submodule, None)
+                    else:
+                        module.imports[local] = ImportTarget(base, alias.name)
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[stmt.name] = self._function_info(module, None, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(name=stmt.name)
+                for base in stmt.bases:
+                    name = dotted_name(base)
+                    if name is not None:
+                        info.bases.append(name)
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[member.name] = self._function_info(
+                            module, stmt.name, member)
+                module.classes[stmt.name] = info
+        for func in module.functions.values():
+            self.functions[func.qual] = func
+        for cls_info in module.classes.values():
+            for func in cls_info.methods.values():
+                self.functions[func.qual] = func
+
+    def _function_info(
+        self, module: ModuleInfo, cls: Optional[str], node: ast.AST
+    ) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        qual = (f"{module.name}:{cls}.{name}" if cls
+                else f"{module.name}:{name}")
+        has_yield = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own_nodes(node))
+        return FunctionInfo(
+            qual=qual, module=module.name, cls=cls, name=name, node=node,
+            rel=module.rel, is_async=isinstance(node, ast.AsyncFunctionDef),
+            has_yield=has_yield,
+        )
+
+    def _resolve_import_from(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        pkg_parts = module.name.split(".")
+        if not module.is_package:
+            pkg_parts = pkg_parts[:-1]
+        cut = node.level - 1
+        if cut > 0:
+            pkg_parts = pkg_parts[:-cut] if cut < len(pkg_parts) else []
+        if not pkg_parts:
+            return node.module
+        if node.module:
+            return ".".join(pkg_parts + node.module.split("."))
+        return ".".join(pkg_parts)
+
+
+#: Methods of builtin containers / IO objects: attribute calls with these
+#: names are far more often ``list.append`` than a project method, so the
+#: unique-name heuristic refuses to guess for them.
+_BUILTIN_METHOD_NAMES: Set[str] = set()
+for _builtin in (list, dict, set, frozenset, tuple, str, bytes, bytearray,
+                 int, float, complex):
+    _BUILTIN_METHOD_NAMES.update(
+        name for name in dir(_builtin) if not name.startswith("__"))
+_BUILTIN_METHOD_NAMES.update({"read", "write", "close", "flush", "readline",
+                              "readlines", "seek", "tell", "get", "put"})
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    caller: str               # qual
+    callee: str               # qual
+    line: int
+
+
+class CallGraph:
+    """Resolved call edges plus derived generator-valuedness."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: Dict[str, List[CallEdge]] = {}
+        #: method name -> quals of every class method with that name.
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._generator_valued: Set[str] = set()
+        self._build_method_index()
+        self._build_edges()
+        self._close_generator_valued()
+
+    # -- construction ---------------------------------------------------
+
+    def _build_method_index(self) -> None:
+        for module in self.project.modules.values():
+            for cls in module.classes.values():
+                for name, func in cls.methods.items():
+                    self._methods_by_name.setdefault(name, []).append(func.qual)
+
+    def _build_edges(self) -> None:
+        for func in self.project.functions.values():
+            edges: List[CallEdge] = []
+            for node in own_nodes(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(func, node)
+                if callee is not None:
+                    edges.append(CallEdge(func.qual, callee, node.lineno))
+            self.edges[func.qual] = edges
+
+    def _close_generator_valued(self) -> None:
+        """Fixed point: a function is generator-valued if it yields, or
+        every-so-flat wrapper style ``return other()`` where ``other`` is
+        generator-valued (the flattened-delegation idiom from the event
+        kernel refactor)."""
+        valued = {q for q, f in self.project.functions.items() if f.has_yield}
+        return_calls: Dict[str, List[str]] = {}
+        for qual, func in self.project.functions.items():
+            calls: List[str] = []
+            for node in own_nodes(func.node):
+                if (isinstance(node, ast.Return)
+                        and isinstance(node.value, ast.Call)):
+                    callee = self.resolve_call(func, node.value)
+                    if callee is not None:
+                        calls.append(callee)
+            return_calls[qual] = calls
+        changed = True
+        while changed:
+            changed = False
+            for qual, calls in return_calls.items():
+                if qual not in valued and any(c in valued for c in calls):
+                    valued.add(qual)
+                    changed = True
+        self._generator_valued = valued
+
+    # -- queries --------------------------------------------------------
+
+    def is_generator_valued(self, qual: str) -> bool:
+        return qual in self._generator_valued
+
+    def callees_of(self, qual: str) -> List[CallEdge]:
+        return self.edges.get(qual, [])
+
+    # -- call-site resolution -------------------------------------------
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> Optional[str]:
+        """Fully-qualified callee for one call site, or ``None``."""
+        module = self.project.modules.get(caller.module)
+        if module is None:
+            return None
+        target = call.func
+        if isinstance(target, ast.Name):
+            return self._resolve_name_call(module, target.id)
+        if isinstance(target, ast.Attribute):
+            return self._resolve_attribute_call(module, caller, target)
+        return None
+
+    def _resolve_name_call(self, module: ModuleInfo, name: str) -> Optional[str]:
+        func = module.functions.get(name)
+        if func is not None:
+            return func.qual
+        cls = module.classes.get(name)
+        if cls is not None:
+            init = self._lookup_method(module, name, "__init__")
+            return init.qual if init is not None else None
+        imp = module.imports.get(name)
+        if imp is not None and imp.member is not None:
+            target_mod = self.project.modules.get(imp.module)
+            if target_mod is not None:
+                return self._resolve_name_call(target_mod, imp.member)
+        return None
+
+    def _resolve_attribute_call(
+        self, module: ModuleInfo, caller: FunctionInfo, target: ast.Attribute
+    ) -> Optional[str]:
+        receiver = dotted_name(target.value)
+        method = target.attr
+        if receiver == "self" and caller.cls is not None:
+            found = self._lookup_method(module, caller.cls, method)
+            if found is not None:
+                return found.qual
+            return self._heuristic_method(method, receiver=None)
+        if receiver is not None:
+            resolved_mod = self._receiver_module(module, receiver)
+            if resolved_mod is not None:
+                return self._resolve_name_call(resolved_mod, method)
+            head = receiver.split(".")[-1]
+            return self._heuristic_method(method, receiver=head)
+        return self._heuristic_method(method, receiver=None)
+
+    def _receiver_module(
+        self, module: ModuleInfo, receiver: str
+    ) -> Optional[ModuleInfo]:
+        """Receiver chain naming a module: alias, or dotted absolute."""
+        parts = receiver.split(".")
+        imp = module.imports.get(parts[0])
+        if imp is not None and imp.member is None:
+            expanded = ".".join([imp.module] + parts[1:])
+            if expanded in self.project.modules:
+                return self.project.modules[expanded]
+            # ``import repro.core.victim`` + receiver ``repro.core.victim``
+        if receiver in self.project.modules:
+            return self.project.modules[receiver]
+        return None
+
+    def _lookup_method(
+        self, module: ModuleInfo, cls_name: str, method: str,
+        _seen: Optional[Set[str]] = None,
+    ) -> Optional[FunctionInfo]:
+        """Static MRO walk: the class, then written bases, recursively."""
+        seen = _seen if _seen is not None else set()
+        key = f"{module.name}:{cls_name}"
+        if key in seen:
+            return None
+        seen.add(key)
+        cls = module.classes.get(cls_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            base_mod, base_cls = self._resolve_class_ref(module, base)
+            if base_mod is None or base_cls is None:
+                continue
+            found = self._lookup_method(base_mod, base_cls, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_class_ref(
+        self, module: ModuleInfo, ref: str
+    ) -> Tuple[Optional[ModuleInfo], Optional[str]]:
+        parts = ref.split(".")
+        if len(parts) == 1:
+            if ref in module.classes:
+                return module, ref
+            imp = module.imports.get(ref)
+            if imp is not None and imp.member is not None:
+                return self.project.modules.get(imp.module), imp.member
+            return None, None
+        receiver_mod = self._receiver_module(module, ".".join(parts[:-1]))
+        return receiver_mod, parts[-1]
+
+    def _heuristic_method(
+        self, method: str, receiver: Optional[str]
+    ) -> Optional[str]:
+        """Dispatch heuristics for attribute calls on unknown receivers.
+
+        The unique-name fallback is gated on the method name not
+        colliding with a builtin-container/file method: ``rows.append``
+        must never resolve to some class's generator-valued ``append``
+        just because it is the only *project* method of that name.  A
+        receiver whose name matches the defining class still resolves
+        (``container.append`` → ``Container.append``): that is a typed
+        receiver in all but syntax.
+        """
+        options = self._methods_by_name.get(method, [])
+        if not options:
+            return None
+        if receiver is not None:
+            want = receiver.lstrip("_").replace("_", "").lower()
+            by_class = [
+                qual for qual in options
+                if qual.split(":")[1].split(".")[0].lower() == want
+            ]
+            if len(by_class) == 1:
+                return by_class[0]
+        if method in _BUILTIN_METHOD_NAMES:
+            return None
+        if len(options) == 1:
+            return options[0]
+        return None

@@ -30,11 +30,13 @@ __all__ = [
     "LintContext",
     "Rule",
     "SuppressionTable",
+    "WitnessHop",
     "format_findings_json",
     "format_findings_text",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "load_context",
 ]
 
 #: Directories never walked implicitly.  ``lint_fixtures`` holds the
@@ -51,8 +53,25 @@ _SUPPRESS_RE = re.compile(
 
 
 @dataclass(frozen=True)
+class WitnessHop:
+    """One hop of a whole-program witness path (source → … → sink)."""
+
+    path: str
+    line: int
+    note: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One lint finding, machine-readable."""
+    """One lint finding, machine-readable.
+
+    ``witness`` is empty for the per-file rules; the whole-program
+    analyzers (DD011/DD012) attach the hop-by-hop evidence chain that
+    justifies the finding, rendered in text, JSON, and SARIF output.
+    """
 
     rule_id: str
     severity: str  # "error" | "warning"
@@ -60,12 +79,13 @@ class Finding:
     line: int
     col: int
     message: str
+    witness: Tuple[WitnessHop, ...] = ()
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "rule": self.rule_id,
             "severity": self.severity,
             "path": self.path,
@@ -73,9 +93,17 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.witness:
+            payload["witness"] = [hop.as_dict() for hop in self.witness]
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "Finding":
+        hops = tuple(
+            WitnessHop(path=str(h["path"]), line=int(h["line"]),  # type: ignore[arg-type, index, call-overload]
+                       note=str(h["note"]))  # type: ignore[index, call-overload]
+            for h in payload.get("witness", ())  # type: ignore[attr-defined, union-attr]
+        )
         return Finding(
             rule_id=str(payload["rule"]),
             severity=str(payload["severity"]),
@@ -83,6 +111,7 @@ class Finding:
             line=int(payload["line"]),      # type: ignore[arg-type]
             col=int(payload["col"]),        # type: ignore[arg-type]
             message=str(payload["message"]),
+            witness=hops,
         )
 
 
@@ -238,11 +267,34 @@ def _rel_path(path: Path, root: Optional[Path]) -> str:
 
 def _known_rule_ids() -> Set[str]:
     """Ids of the full catalog — suppression pragmas are validated
-    against every rule that exists, not just the ones selected with
-    ``--rule`` (lazy import to avoid an engine <-> rules cycle)."""
-    from .rules import ALL_RULES
+    against every rule that exists (per-file and whole-program), not
+    just the ones selected with ``--rule`` (lazy import to avoid an
+    engine <-> rules cycle)."""
+    from .rules import ALL_RULES, INTERPROC_RULES
 
-    return {rule.rule_id for rule in ALL_RULES}
+    return {rule.rule_id for rule in ALL_RULES} | {
+        rule.rule_id for rule in INTERPROC_RULES}
+
+
+def load_context(path: Path, root: Optional[Path] = None) -> Optional[LintContext]:
+    """Parse one file into the shared :class:`LintContext`.
+
+    This is the single place source is parsed and ``dd-lint`` pragmas
+    are interpreted — both the per-file rule loop and the whole-program
+    analyzers consume the same context, so suppression semantics cannot
+    drift between them.  Returns ``None`` on a syntax error (the
+    per-file path reports those as DD000).
+    """
+    source = path.read_text(encoding="utf-8")
+    rel = _rel_path(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    return LintContext(
+        path=path, rel=rel, tree=tree, lines=source.splitlines(),
+        suppressions=parse_suppressions(source, _known_rule_ids()),
+    )
 
 
 def lint_file(
@@ -251,17 +303,20 @@ def lint_file(
     root: Optional[Path] = None,
 ) -> List[Finding]:
     """Lint one file; returns unsuppressed findings plus DD000 defects."""
-    source = path.read_text(encoding="utf-8")
     rel = _rel_path(path, root)
     try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding("DD000", "error", rel, exc.lineno or 1,
-                        exc.offset or 0, f"syntax error: {exc.msg}")]
-    lines = source.splitlines()
-    table = parse_suppressions(source, _known_rule_ids())
-    ctx = LintContext(path=path, rel=rel, tree=tree, lines=lines,
-                      suppressions=table)
+        ctx = load_context(path, root=root)
+    except OSError as exc:
+        return [Finding("DD000", "error", rel, 1, 0, f"unreadable: {exc}")]
+    if ctx is None:
+        source = path.read_text(encoding="utf-8")
+        try:
+            ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding("DD000", "error", rel, exc.lineno or 1,
+                            exc.offset or 0, f"syntax error: {exc.msg}")]
+        return []
+    table = ctx.suppressions
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.check(ctx):
@@ -291,10 +346,13 @@ def lint_paths(
 def format_findings_text(findings: Sequence[Finding]) -> str:
     if not findings:
         return "sim-lint: clean (no findings)"
-    parts = [
-        f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.severity}] {f.message}"
-        for f in findings
-    ]
+    parts = []
+    for f in findings:
+        parts.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.severity}] {f.message}")
+        for index, hop in enumerate(f.witness):
+            arrow = "witness:" if index == 0 else "      ->"
+            parts.append(f"    {arrow} {hop.path}:{hop.line}: {hop.note}")
     errors = sum(1 for f in findings if f.severity == "error")
     warnings = len(findings) - errors
     parts.append(f"sim-lint: {errors} error(s), {warnings} warning(s)")

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from .engine import Finding, LintContext, Rule
 
-__all__ = ["ALL_RULES", "rule_catalog", "DECISION_NAME_RE"]
+__all__ = ["ALL_RULES", "INTERPROC_RULES", "rule_catalog", "DECISION_NAME_RE"]
 
 
 # -- shared AST helpers ------------------------------------------------------
@@ -933,14 +933,98 @@ def _build_rules() -> List[Rule]:
 ALL_RULES: List[Rule] = _build_rules()
 
 
+# -- whole-program rules (descriptors only) ----------------------------------
+#
+# DD011..DD014 are checked by :mod:`repro.lint.analysis` over the project
+# call graph, not per file; the classes below carry their catalog metadata
+# (and document each rule's witness format) so ``--list-rules``, pragma
+# validation, and SARIF share one registry with the per-file rules.
+
+class WholeProgramRule(Rule):
+    """Metadata carrier for analyzers that need the whole project."""
+
+    whole_program = True
+    #: How the finding's witness path reads, for ``--list-rules`` JSON.
+    witness_doc = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        return ()
+
+
+class InterproceduralTaintRule(WholeProgramRule):
+    rule_id = "DD011"
+    title = "nondeterminism taint reaching a decision sink"
+    rationale = (
+        "Wall-clock reads, unseeded random, builtin hash()/id(), os.environ "
+        "and unordered-set iteration results must never flow — even through "
+        "helpers in other modules — into victim selection, eviction rounds, "
+        "admission, migration/lending choices, or ledger writers: any such "
+        "path breaks fixed-seed replay exactly the way the ShardsEstimator "
+        "PYTHONHASHSEED bug did")
+    witness_doc = (
+        "source -> sink call chain: first hop is the sink-side expression, "
+        "each later hop is the callee (or tainted attribute store) that "
+        "carried the value, ending at the nondeterminism source")
+
+
+class AwaitInterleavingRule(WholeProgramRule):
+    rule_id = "DD012"
+    title = "read-modify-write of shared service state split across an await"
+    rationale = (
+        "The asyncio service interleaves handlers at every await: loading a "
+        "shared cache/store/registry attribute, awaiting, then storing a "
+        "value derived from the stale read silently corrupts accounting "
+        "under concurrency; hold no shared state across awaits, or guard "
+        "the section with an async lock")
+    witness_doc = (
+        "three hops: the shared-attribute load, the await that yields the "
+        "event loop, and the store that commits the stale value")
+
+
+class GeneratorProtocolRule(WholeProgramRule):
+    rule_id = "DD013"
+    title = "sim-kernel generator-protocol misuse"
+    rationale = (
+        "Simulation processes are generators driven by the event kernel: "
+        "yielding a generator object (instead of delegating with 'yield "
+        "from') parks the process on a non-event, and calling a generator "
+        "function as a bare statement discards the generator so its body "
+        "never runs — both are silent no-ops that skew results")
+    witness_doc = "single hop: the definition of the generator being misused"
+
+
+class AuditCoverageRule(WholeProgramRule):
+    rule_id = "DD014"
+    title = "ledger counter without an auditor cross-check"
+    rationale = (
+        "Every monotone put-outcome/ledger counter in repro.core.stats must "
+        "be reconciled by at least one invariant in repro.core.audit — an "
+        "unchecked counter is exactly where bookkeeping drift hides (the "
+        "shadow auditor is the reproduction's ground truth)")
+    witness_doc = (
+        "single hop: the dataclass field definition that no auditor "
+        "invariant references")
+
+
+INTERPROC_RULES: List[Rule] = [
+    InterproceduralTaintRule(),
+    AwaitInterleavingRule(),
+    GeneratorProtocolRule(),
+    AuditCoverageRule(),
+]
+
+
 def rule_catalog() -> List[Dict[str, str]]:
     """Machine-readable rule listing for ``--list-rules``."""
-    return [
-        {
+    entries = []
+    for rule in list(ALL_RULES) + INTERPROC_RULES:
+        entries.append({
             "id": rule.rule_id,
             "severity": rule.severity,
             "title": rule.title,
             "rationale": rule.rationale,
-        }
-        for rule in ALL_RULES
-    ]
+            "scope": ("whole-program" if getattr(rule, "whole_program", False)
+                      else "per-file"),
+            "witness": getattr(rule, "witness_doc", ""),
+        })
+    return entries

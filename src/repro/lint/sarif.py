@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for sim-lint findings.
+
+Static Analysis Results Interchange Format, the shape code-scanning
+UIs ingest: one ``run`` with a ``tool.driver`` carrying the full rule
+catalog (per-file and whole-program) and one ``result`` per finding.
+Witness paths (DD011's source→sink chain, DD012's load/await/store
+triple) are emitted as ``codeFlows``/``threadFlows`` so viewers render
+the hop-by-hop evidence, not just the anchor line.
+
+Only the stdlib is used; the emitted document's shape is self-checked by
+``tests/test_lint_analysis.py`` against the SARIF 2.1.0 requirements the
+spec makes mandatory (``version``, ``$schema``, ``runs[].tool.driver``
+with ``name`` and ``rules[].id``, ``results[].ruleId/message/locations``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "format_findings_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL_OF = {"error": "error", "warning": "warning"}
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, object]:
+    region: Dict[str, object] = {"startLine": max(1, line)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": region,
+        }
+    }
+
+
+def _code_flow(finding: Finding) -> Dict[str, object]:
+    return {
+        "threadFlows": [{
+            "locations": [
+                {
+                    "location": {
+                        **_location(hop.path, hop.line, 0),
+                        "message": {"text": hop.note},
+                    }
+                }
+                for hop in finding.witness
+            ]
+        }]
+    }
+
+
+def format_findings_sarif(findings: Sequence[Finding]) -> str:
+    from .rules import rule_catalog
+
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for entry in rule_catalog():
+        rule_index[entry["id"]] = len(rules)
+        rules.append({
+            "id": entry["id"],
+            "shortDescription": {"text": entry["title"]},
+            "fullDescription": {"text": entry["rationale"]},
+            "defaultConfiguration": {
+                "level": _LEVEL_OF.get(entry["severity"], "warning")},
+            "properties": {
+                "scope": entry["scope"],
+                "witnessFormat": entry["witness"],
+            },
+        })
+    # DD000 is a pseudo-rule emitted by the engine, not the catalog.
+    if "DD000" not in rule_index:
+        rule_index["DD000"] = len(rules)
+        rules.append({
+            "id": "DD000",
+            "shortDescription": {"text": "dd-lint pragma defect"},
+            "defaultConfiguration": {"level": "warning"},
+        })
+
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _LEVEL_OF.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        if finding.witness:
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
+
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "sim-lint",
+                    "rules": rules,
+                }
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

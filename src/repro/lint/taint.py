@@ -1,0 +1,465 @@
+"""Interprocedural nondeterminism taint analysis (rule DD011).
+
+The taint lattice is deliberately tiny — a value is *tainted* or it is
+not — because every tracked source is binary-poisonous to fixed-seed
+replay:
+
+* wall-clock reads (``time.time``/``monotonic``/``perf_counter``/…,
+  ``datetime.now``/``utcnow``/``today``);
+* module-global unseeded ``random`` calls;
+* builtin ``hash()`` / ``id()`` (both vary per process under
+  ``PYTHONHASHSEED`` / allocator behaviour);
+* ``os.environ`` / ``os.getenv`` reads;
+* iteration order of unordered sets (``set``/``frozenset`` literals,
+  comprehensions, and constructor calls) — *order* taint, cleansed by
+  ``sorted``/``min``/``max``/``sum``/``len``, which the value sources
+  are not.
+
+Propagation runs to a fixed point over the project call graph:
+
+1. intra-function: statement-level transfer taints local names assigned
+   from tainted expressions (loops included — the per-function pass
+   itself iterates until stable);
+2. function summaries: a function whose ``return`` expression is tainted
+   has a *tainted return*; every resolved call site of it becomes a
+   taint atom in its callers;
+3. class attributes: ``self.x = <tainted>`` taints attribute ``x`` for
+   the whole class, so state stashed in one method and consumed in
+   another still carries.
+
+A finding is reported where taint is *introduced* inside a decision
+sink — a function whose name matches :data:`repro.lint.rules.DECISION_NAME_RE`
+or which writes put-outcome ledger fields — and carries the full
+source→sink witness chain.  The real-time modules (``service/``,
+``obs/live.py``) are exempt: wall clock is their job, and DD010/DD012
+police them instead.
+
+Known false negatives (documented in docs/LINTING.md): calls the graph
+cannot resolve produce no edge; container element-wise taint is not
+tracked (``d[k] = tainted`` taints ``d`` only when ``d`` is a ``self``
+attribute); taint through ``*args``/``**kwargs`` forwarding is dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, Project, dotted_name, own_nodes
+from .engine import Finding, WitnessHop
+from .rules import DECISION_NAME_RE, LEDGER_FIELDS, REALTIME_MODULES
+
+__all__ = ["analyze_taint"]
+
+_RULE_ID = "DD011"
+
+_WALL_CLOCK_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+_WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today"}
+_RANDOM_MODULE_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "getrandbits", "random_bytes", "randbytes",
+}
+#: Order-insensitive consumers: an unordered set passed straight into one
+#: of these yields a deterministic value, so ORDER taint stops here.
+_ORDER_CLEANSERS = {"sorted", "min", "max", "sum", "len", "frozenset", "set", "any", "all"}
+
+
+@dataclass(frozen=True)
+class TaintReason:
+    """Why one function's return (or one class attribute) is tainted."""
+
+    rel: str
+    line: int
+    note: str
+    via: Optional[str]        # qual of the callee that carried the taint
+    via_attr: Optional[Tuple[str, str]] = None   # (module:Class, attr)
+
+
+class _ModuleEnv:
+    """Per-module alias view of the nondeterminism source modules."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.time_aliases: Set[str] = set()
+        self.datetime_aliases: Set[str] = set()      # names bound to the *module*
+        self.datetime_cls_aliases: Set[str] = set()  # names bound to the class
+        self.random_aliases: Set[str] = set()
+        self.os_aliases: Set[str] = set()
+        self.environ_aliases: Set[str] = set()
+        self.getenv_aliases: Set[str] = set()
+        self.wall_fn_aliases: Dict[str, str] = {}    # local -> "time.time" etc.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_aliases.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_aliases.add(local)
+                    elif alias.name == "random":
+                        self.random_aliases.add(local)
+                    elif alias.name == "os":
+                        self.os_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if node.module == "time" and alias.name in _WALL_CLOCK_TIME_FNS:
+                        self.wall_fn_aliases[local] = f"time.{alias.name}"
+                    elif node.module == "datetime" and alias.name == "datetime":
+                        self.datetime_cls_aliases.add(local)
+                    elif node.module == "os" and alias.name == "environ":
+                        self.environ_aliases.add(local)
+                    elif node.module == "os" and alias.name == "getenv":
+                        self.getenv_aliases.add(local)
+                    elif node.module == "random" and alias.name in _RANDOM_MODULE_FNS:
+                        self.wall_fn_aliases[local] = f"random.{alias.name}"
+
+
+def _source_note(env: _ModuleEnv, node: ast.AST) -> Optional[str]:
+    """Human-readable description if ``node`` is a direct value source."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("hash", "id"):
+                return f"builtin {func.id}() varies per process"
+            alias = env.wall_fn_aliases.get(func.id)
+            if alias is not None:
+                kind = "wall-clock" if alias.startswith("time.") else "unseeded random"
+                return f"{kind} {alias}()"
+            if func.id in env.getenv_aliases:
+                return "os.getenv() read"
+        elif isinstance(func, ast.Attribute):
+            recv = dotted_name(func.value)
+            if recv in env.time_aliases and func.attr in _WALL_CLOCK_TIME_FNS:
+                return f"wall-clock time.{func.attr}()"
+            if recv in env.random_aliases and func.attr in _RANDOM_MODULE_FNS:
+                return f"unseeded random.{func.attr}()"
+            if recv in env.os_aliases and func.attr == "getenv":
+                return "os.getenv() read"
+            if (recv in env.datetime_cls_aliases
+                    and func.attr in _WALL_CLOCK_DATETIME_FNS):
+                return f"wall-clock datetime.{func.attr}()"
+            if recv is not None and func.attr in _WALL_CLOCK_DATETIME_FNS:
+                parts = recv.split(".")
+                if (len(parts) == 2 and parts[0] in env.datetime_aliases
+                        and parts[1] == "datetime"):
+                    return f"wall-clock datetime.{func.attr}()"
+    elif isinstance(node, ast.Attribute):
+        recv = dotted_name(node.value)
+        if recv in env.os_aliases and node.attr == "environ":
+            return "os.environ read"
+    elif isinstance(node, ast.Name):
+        if node.id in env.environ_aliases:
+            return "os.environ read"
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class _FunctionAnalysis:
+    """Intra-function taint pass, re-runnable as summaries improve."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        env: _ModuleEnv,
+        func: FunctionInfo,
+    ) -> None:
+        self.graph = graph
+        self.env = env
+        self.func = func
+        self.tainted_locals: Set[str] = set()
+        #: local name -> reason chain anchor for witness reconstruction.
+        self.local_reasons: Dict[str, TaintReason] = {}
+
+    # -- expression classification --------------------------------------
+
+    def _atom_reason(self, node: ast.AST) -> Optional[TaintReason]:
+        """Taint atom: direct source, tainted local, tainted attr read,
+        or call to a tainted-return function."""
+        note = _source_note(self.env, node)
+        if note is not None:
+            return TaintReason(self.func.rel, node.lineno, note, via=None)
+        if isinstance(node, ast.Name) and node.id in self.tainted_locals:
+            return self.local_reasons.get(node.id)
+        if isinstance(node, ast.Attribute):
+            recv = dotted_name(node.value)
+            if recv == "self" and self.func.cls is not None:
+                key = (f"{self.func.module}:{self.func.cls}", node.attr)
+                reason = self.graph.project_attr_reasons.get(key)  # type: ignore[attr-defined]
+                if reason is not None:
+                    return TaintReason(
+                        self.func.rel, node.lineno,
+                        f"reads tainted attribute self.{node.attr}",
+                        via=None, via_attr=key)
+        if isinstance(node, ast.Call):
+            callee = self.graph.resolve_call(self.func, node)
+            if callee is not None and callee in self.graph.tainted_returns:  # type: ignore[attr-defined]
+                return TaintReason(
+                    self.func.rel, node.lineno,
+                    f"call to '{callee}' whose return value is tainted",
+                    via=callee)
+        return None
+
+    def _expr_reason(self, node: ast.AST) -> Optional[TaintReason]:
+        """First taint atom inside an expression, honouring cleansers."""
+        atom = self._atom_reason(node)
+        if atom is not None:
+            return atom
+        if _is_set_expr(node):
+            return None           # a set by itself is fine; iterating it is not
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_CLEANSERS):
+            # Cleansers stop ORDER taint only; value atoms inside still count.
+            for child in ast.iter_child_nodes(node):
+                reason = self._expr_reason(child)
+                if reason is not None:
+                    return reason
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            reason = self._expr_reason(child)
+            if reason is not None:
+                return reason
+        return None
+
+    def _iter_order_reason(self, iter_expr: ast.AST) -> Optional[TaintReason]:
+        """ORDER taint: the iterable is an unordered set expression."""
+        if _is_set_expr(iter_expr):
+            return TaintReason(
+                self.func.rel, iter_expr.lineno,
+                "iteration over an unordered set (hash-order dependent)",
+                via=None)
+        return None
+
+    # -- statement transfer ---------------------------------------------
+
+    def run(self) -> None:
+        """Iterate the statement transfer to an intra-function fixed
+        point (loops feed assignments back into themselves)."""
+        for _ in range(12):
+            before = set(self.tainted_locals)
+            self._pass()
+            if self.tainted_locals == before:
+                break
+
+    def _taint_target(self, target: ast.AST, reason: TaintReason) -> None:
+        if isinstance(target, ast.Name):
+            if target.id not in self.tainted_locals:
+                self.tainted_locals.add(target.id)
+                self.local_reasons[target.id] = reason
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt, reason)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value, reason)
+        elif isinstance(target, ast.Attribute):
+            recv = dotted_name(target.value)
+            if recv == "self" and self.func.cls is not None:
+                key = (f"{self.func.module}:{self.func.cls}", target.attr)
+                pending = self.graph.pending_attr_taint  # type: ignore[attr-defined]
+                if key not in pending:
+                    pending[key] = TaintReason(
+                        self.func.rel, target.lineno,
+                        f"'{self.func.qual}' stores a tainted value into "
+                        f"self.{target.attr}",
+                        via=reason.via, via_attr=reason.via_attr)
+        elif isinstance(target, ast.Subscript):
+            self._taint_target(target.value, reason)
+
+    def _pass(self) -> None:
+        for node in own_nodes(self.func.node):
+            if isinstance(node, ast.Assign):
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    for target in node.targets:
+                        self._taint_target(target, reason)
+            elif isinstance(node, ast.AugAssign):
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    self._taint_target(node.target, reason)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    self._taint_target(node.target, reason)
+            elif isinstance(node, ast.NamedExpr):
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    self._taint_target(node.target, reason)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = (self._iter_order_reason(node.iter)
+                          or self._expr_reason(node.iter))
+                if reason is not None:
+                    self._taint_target(node.target, reason)
+            elif isinstance(node, ast.comprehension):
+                reason = (self._iter_order_reason(node.iter)
+                          or self._expr_reason(node.iter))
+                if reason is not None:
+                    self._taint_target(node.target, reason)
+
+    # -- summaries -------------------------------------------------------
+
+    def return_reason(self) -> Optional[TaintReason]:
+        for node in own_nodes(self.func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    return reason
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+                reason = self._expr_reason(node.value)
+                if reason is not None:
+                    return reason
+        return None
+
+    def introductions(self) -> List[Tuple[ast.AST, TaintReason]]:
+        """Every point where taint first enters this function's body."""
+        found: List[Tuple[ast.AST, TaintReason]] = []
+        seen_lines: Set[int] = set()
+        for node in own_nodes(self.func.node):
+            reason = self._atom_reason(node)
+            if reason is None and isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = self._iter_order_reason(node.iter)
+            if reason is None and isinstance(node, ast.comprehension):
+                reason = self._iter_order_reason(node.iter)
+            if reason is None:
+                continue
+            # Reads of locals are consequences of an introduction already
+            # reported; anchor only genuine entries (sources, calls, attrs).
+            if isinstance(node, ast.Name):
+                continue
+            line = getattr(node, "lineno", None)
+            if line is None or line in seen_lines:
+                continue
+            seen_lines.add(line)
+            found.append((node, reason))
+        return found
+
+
+def _is_realtime(module: ModuleInfo) -> bool:
+    tail = module.rel
+    marker = "repro/"
+    idx = tail.rfind(marker)
+    if idx >= 0:
+        tail = tail[idx + len(marker):]
+    return any(tail.startswith(prefix) if prefix.endswith("/")
+               else tail == prefix for prefix in REALTIME_MODULES)
+
+
+def _writes_ledger(func: FunctionInfo) -> bool:
+    for node in own_nodes(func.node):
+        target = None
+        if isinstance(node, ast.Assign) and node.targets:
+            target = node.targets[0]
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+        if isinstance(target, ast.Attribute) and target.attr in LEDGER_FIELDS:
+            return True
+    return False
+
+
+def _is_sink(func: FunctionInfo) -> bool:
+    if func.name.startswith("__") and func.name.endswith("__"):
+        return False
+    return bool(DECISION_NAME_RE.search(func.name)) or _writes_ledger(func)
+
+
+def _witness(
+    graph: CallGraph,
+    sink: FunctionInfo,
+    anchor: ast.AST,
+    reason: TaintReason,
+) -> Tuple[WitnessHop, ...]:
+    hops: List[WitnessHop] = [WitnessHop(
+        sink.rel, getattr(anchor, "lineno", 1),
+        f"tainted value enters decision function '{sink.qual}': {reason.note}")]
+    seen: Set[str] = {sink.qual}
+    current: Optional[TaintReason] = reason
+    for _ in range(24):
+        if current is None:
+            break
+        next_reason: Optional[TaintReason] = None
+        if current.via is not None and current.via not in seen:
+            seen.add(current.via)
+            next_reason = graph.tainted_returns.get(current.via)  # type: ignore[attr-defined]
+        elif current.via_attr is not None:
+            key = "attr:" + ":".join(current.via_attr)
+            if key not in seen:
+                seen.add(key)
+                next_reason = graph.project_attr_reasons.get(current.via_attr)  # type: ignore[attr-defined]
+        if next_reason is None:
+            break
+        hops.append(WitnessHop(next_reason.rel, next_reason.line,
+                               next_reason.note))
+        current = next_reason
+    return tuple(hops)
+
+
+def analyze_taint(project: Project, graph: CallGraph) -> List[Finding]:
+    """Run DD011 over ``project``; returns unsorted, unsuppressed findings."""
+    envs: Dict[str, _ModuleEnv] = {
+        name: _ModuleEnv(module) for name, module in project.modules.items()}
+
+    # Shared mutable state the per-function passes read/write.  Hanging
+    # it off the graph keeps the fixed-point loop free of globals.
+    graph.tainted_returns = {}        # type: ignore[attr-defined]  # qual -> TaintReason
+    graph.project_attr_reasons = {}   # type: ignore[attr-defined]  # (module:Class, attr) -> TaintReason
+    graph.pending_attr_taint = {}     # type: ignore[attr-defined]
+
+    in_scope = [
+        func for func in project.functions.values()
+        if not _is_realtime(project.modules[func.module])
+    ]
+
+    analyses: Dict[str, _FunctionAnalysis] = {}
+    for _ in range(max(4, len(in_scope))):
+        changed = False
+        graph.pending_attr_taint = {}  # type: ignore[attr-defined]
+        for func in in_scope:
+            analysis = _FunctionAnalysis(graph, envs[func.module], func)
+            analysis.run()
+            analyses[func.qual] = analysis
+            reason = analysis.return_reason()
+            if reason is not None and func.qual not in graph.tainted_returns:  # type: ignore[attr-defined]
+                graph.tainted_returns[func.qual] = TaintReason(  # type: ignore[attr-defined]
+                    func.rel, reason.line,
+                    f"'{func.qual}' returns a tainted value: {reason.note}",
+                    via=reason.via, via_attr=reason.via_attr)
+                changed = True
+        for key, reason in graph.pending_attr_taint.items():  # type: ignore[attr-defined]
+            if key not in graph.project_attr_reasons:  # type: ignore[attr-defined]
+                graph.project_attr_reasons[key] = reason  # type: ignore[attr-defined]
+                changed = True
+        if not changed:
+            break
+
+    findings: List[Finding] = []
+    for func in in_scope:
+        if not _is_sink(func):
+            continue
+        analysis = analyses.get(func.qual)
+        if analysis is None:
+            continue
+        for anchor, reason in analysis.introductions():
+            findings.append(Finding(
+                rule_id=_RULE_ID,
+                severity="error",
+                path=func.rel,
+                line=getattr(anchor, "lineno", 1),
+                col=getattr(anchor, "col_offset", 0),
+                message=(f"nondeterministic value reaches decision sink "
+                         f"'{func.qual}': {reason.note}"),
+                witness=_witness(graph, func, anchor, reason),
+            ))
+    return findings

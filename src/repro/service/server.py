@@ -39,8 +39,12 @@ class CacheServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Capture-and-swap before the first await: a concurrent close()
+        # (SIGTERM racing a failed-startup unwind) must see None instead
+        # of double-closing the listener or re-closing a cache whose
+        # store is already shut.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         self.cache.close()

@@ -1,0 +1,1 @@
+# dd-lint: disable-file=all (fixture package marker)

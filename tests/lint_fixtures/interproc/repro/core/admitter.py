@@ -1,0 +1,20 @@
+"""Known-bad fixture: DD011 one-hop hash() taint and attribute taint."""
+
+
+def key_fingerprint(key) -> int:
+    return hash(key)
+
+
+class HashAdmission:
+    def __init__(self) -> None:
+        self._salt = 0
+
+    def reseed(self) -> None:
+        # Not a sink itself, but poisons self._salt for the whole class.
+        self._salt = key_fingerprint("salt")
+
+    def admit(self, key) -> bool:
+        return key_fingerprint(key) % 2 == 0   # DD011: one-hop hash()
+
+    def admit_salted(self, key) -> bool:
+        return (key + self._salt) % 2 == 0     # DD011: tainted attribute read

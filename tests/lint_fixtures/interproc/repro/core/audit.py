@@ -1,0 +1,10 @@
+"""Fixture auditor: cross-checks ``checked_counter`` but not the ghost."""
+
+from typing import List
+
+
+def check_pool(stats) -> List[str]:
+    violations: List[str] = []
+    if stats.checked_counter < 0:
+        violations.append("checked_counter went negative")
+    return violations

@@ -1,0 +1,21 @@
+"""Known-bad fixture: taint helpers feeding the DD011 chains.
+
+``jitter`` is a direct wall-clock source (DD001 also fires on it
+per-file — expected, this is the bad-snippet corpus) and ``two_hop``
+launders it through one more call so the cross-module chain into
+``victim_sel.select_victim`` is two hops deep.
+"""
+
+import time
+
+
+def jitter() -> float:
+    return time.time()
+
+
+def two_hop() -> float:
+    return jitter()
+
+
+def seeded_floor(seed: int) -> int:
+    return seed * 2

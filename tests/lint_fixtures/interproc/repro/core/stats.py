@@ -1,0 +1,11 @@
+"""Known-bad fixture: DD014 — one ledger counter the auditor ignores."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PoolStats:
+    name: str
+    checked_counter: int = 0
+    ghost_counter: int = 0    # DD014: no invariant in audit.py touches it
+    used_blocks: int = 0      # gauge: exempt from coverage by design

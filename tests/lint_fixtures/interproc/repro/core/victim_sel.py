@@ -1,0 +1,25 @@
+"""Known-bad fixture: DD011 cross-module two-hop taint into a sink."""
+
+from .helpers import seeded_floor, two_hop
+
+
+def select_victim(entries):
+    bias = two_hop()          # DD011: time.time -> jitter -> two_hop -> sink
+    floor = seeded_floor(7)   # clean helper: no finding
+    best = None
+    for entry in entries:
+        if best is None or entry.score + bias < best.score + floor:
+            best = entry
+    return best
+
+
+def pick_candidate(keys):
+    for key in set(keys):     # DD011: unordered-set iteration in a sink
+        return key
+    return None
+
+
+def pick_candidate_sorted(keys):
+    for key in sorted(set(keys)):   # clean: sorted() cleanses the order
+        return key
+    return None

@@ -1,0 +1,35 @@
+"""Known-bad fixture: DD012 read-modify-write across awaits.
+
+The lock-guarded variant and the helper are the clean counterexamples;
+everything else splits a shared-attribute RMW across a suspension point.
+"""
+
+import asyncio
+
+
+class RacyCounter:
+    def __init__(self) -> None:
+        self.ops = 0
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def bump_stale(self) -> None:
+        count = self.ops              # load
+        await asyncio.sleep(0)        # another handler may run here
+        self.ops = count + 1          # DD012: commits the stale read
+
+    async def bump_inline(self) -> None:
+        self.total = self.total + await self._delay()   # DD012: RMW + await in one statement
+
+    async def bump_aug(self) -> None:
+        self.ops += await self._delay()                 # DD012: augmented RMW awaits
+
+    async def bump_locked(self) -> None:
+        async with self._lock:        # clean: the lock serializes the section
+            count = self.ops
+            await asyncio.sleep(0)
+            self.ops = count + 1
+
+    async def _delay(self) -> int:
+        await asyncio.sleep(0)
+        return 1

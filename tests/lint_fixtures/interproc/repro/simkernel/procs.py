@@ -1,0 +1,32 @@
+"""Known-bad fixture: DD013 generator-protocol misuse.
+
+``flat_wrapper`` is generator-valued without containing a ``yield`` (the
+flattened-delegation idiom), so the fixed point must classify it too.
+"""
+
+
+def delegate(env):
+    yield "step"
+
+
+def flat_wrapper(env):
+    return delegate(env)
+
+
+def broken_yield(env):
+    yield delegate(env)          # DD013: parks the process on a generator
+
+
+def broken_wrapper_yield(env):
+    yield flat_wrapper(env)      # DD013: same, through the flat wrapper
+
+
+def broken_discard(env):
+    delegate(env)                # DD013: generator discarded, body never runs
+    yield "done"
+
+
+def proper(env):
+    yield from delegate(env)             # clean
+    result = yield from flat_wrapper(env)  # clean
+    return result

@@ -743,6 +743,51 @@ class TestAuditor:
         with pytest.raises(InvariantViolation, match="manager.used"):
             assert_consistent(cache, where="unit test")
 
+    # -- store-counter ledger (DD014 coverage) -------------------------
+
+    def evicting(self):
+        """Overfill the memory tier so eviction rounds actually run."""
+        env, cache = make_dd(ssd_capacity_mb=0.0)
+        vm = cache.register_vm("vm")
+        pool = cache.create_pool(vm, "ctr", CachePolicy.memory(100.0))
+        # 1 MB / 64 KB = 16 blocks of capacity; 32 puts force evictions.
+        run_gen(env, cache.put_many(vm, pool, [(1, b) for b in range(32)]))
+        assert cache.store_counters[MEMORY].evictions > 0
+        return env, cache, vm, pool
+
+    def test_store_eviction_round_tamper_is_caught(self):
+        _, cache, _, _ = self.populated()
+        cache.store_counters[MEMORY].eviction_rounds += 1
+        assert any("eviction rounds" in v for v in check_cache(cache))
+
+    def test_store_evictions_without_round_is_caught(self):
+        _, cache, _, _ = self.populated()
+        cache.store_counters[MEMORY].evictions += 1
+        assert any("outside any eviction round" in v
+                   for v in check_cache(cache))
+
+    def test_store_rejected_puts_drift_is_caught(self):
+        _, cache, _, _ = self.populated()
+        cache.store_counters[MEMORY].rejected_puts += 1
+        assert any("rejected_puts do not reconcile" in v
+                   for v in check_cache(cache))
+
+    def test_store_rejection_bucket_overflow_is_caught(self):
+        _, cache, _, _ = self.populated()
+        cache.store_counters[MEMORY].rejected_admission += 1
+        violations = check_cache(cache)
+        assert any("sub-buckets exceed" in v or "rejected_admission" in v
+                   for v in violations)
+
+    def test_store_counters_reconcile_across_destroy_pool(self):
+        """The regression the destroyed-pool accumulators exist for: the
+        per-store ledger must still reconcile after the pools whose
+        activity it aggregates are gone."""
+        _, cache, vm, pool = self.evicting()
+        assert check_cache(cache) == []
+        cache.destroy_pool(vm, pool)
+        assert check_cache(cache) == []
+
     # -- endurance invariants ------------------------------------------
 
     def populated_ssd(self, **overrides):

@@ -64,9 +64,18 @@ class RuleFiringTests(unittest.TestCase):
         self.assertTrue(all(f.severity == "error" for f in set_findings))
 
     def test_every_catalogued_rule_has_a_firing_case(self):
+        # Per-file rules fire via CASES above; whole-program rules
+        # (scope "whole-program") fire via the interproc fixture corpus,
+        # pinned to exact counts in tests/test_lint_analysis.py.
+        from repro.lint.analysis import WHOLE_PROGRAM_RULE_IDS
+
         covered = {rule_id for _, rule_id, _ in self.CASES}
-        catalogued = {entry["id"] for entry in rule_catalog()}
-        self.assertEqual(catalogued, covered)
+        per_file = {entry["id"] for entry in rule_catalog()
+                    if entry["scope"] == "per-file"}
+        whole_program = {entry["id"] for entry in rule_catalog()
+                         if entry["scope"] == "whole-program"}
+        self.assertEqual(per_file, covered)
+        self.assertEqual(whole_program, set(WHOLE_PROGRAM_RULE_IDS))
 
     def test_realtime_service_modules_are_allowlisted(self):
         # Wall-clock reads and broad handlers that fire DD001/DD007

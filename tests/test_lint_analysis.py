@@ -1,0 +1,684 @@
+"""Whole-program sim-lint suite: call-graph resolution, interprocedural
+taint (DD011), await-interleaving races (DD012), generator-protocol
+misuse (DD013), auditor coverage (DD014), the SARIF 2.1.0 emitter, and
+the CLI flags that drive them (--interprocedural, --changed, --budget,
+--list-rules --format json)."""
+
+import contextlib
+import io
+import json
+import subprocess
+import tempfile
+import textwrap
+import unittest
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.__main__ import main as lint_main
+from repro.lint.analysis import (
+    WHOLE_PROGRAM_RULE_IDS,
+    analyze_paths,
+    analyze_project,
+)
+from repro.lint.callgraph import CallGraph, Project
+from repro.lint.engine import (
+    Finding,
+    WitnessHop,
+    format_findings_json,
+    format_findings_text,
+    iter_python_files,
+)
+from repro.lint.rules import INTERPROC_RULES, rule_catalog
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    format_findings_sarif,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+INTERPROC_FIXTURES = REPO / "tests" / "lint_fixtures" / "interproc"
+
+
+def make_project(tmp, files):
+    """Write ``{relpath: source}`` under ``tmp/repro`` and load it."""
+    root = Path(tmp)
+    for rel, source in files.items():
+        path = root / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        init = path.parent / "__init__.py"
+        while not init.exists() and init.parent != root:
+            init.write_text("")
+            init = init.parent.parent / "__init__.py"
+    paths = sorted((root / "repro").rglob("*.py"))
+    return Project.load(paths, root=root)
+
+
+def fixture_report(rule_ids=None):
+    return analyze_paths([INTERPROC_FIXTURES], root=REPO, rule_ids=rule_ids)
+
+
+class CallGraphTests(unittest.TestCase):
+    """Call-site resolution: each strategy in the documented order."""
+
+    def _edges_of(self, project, qual):
+        graph = CallGraph(project)
+        return {edge.callee for edge in graph.callees_of(qual)}
+
+    def test_local_function_call_resolves(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+            """})
+            self.assertIn("repro.mod:helper",
+                          self._edges_of(project, "repro.mod:caller"))
+
+    def test_from_import_as_resolves_cross_module(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {
+                "util.py": """
+                    def jitter():
+                        return 1
+                """,
+                "mod.py": """
+                    from repro.util import jitter as j
+
+                    def caller():
+                        return j()
+                """,
+            })
+            self.assertIn("repro.util:jitter",
+                          self._edges_of(project, "repro.mod:caller"))
+
+    def test_module_alias_resolves(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {
+                "util.py": """
+                    def jitter():
+                        return 1
+                """,
+                "mod.py": """
+                    import repro.util as u
+
+                    def caller():
+                        return u.jitter()
+                """,
+            })
+            self.assertIn("repro.util:jitter",
+                          self._edges_of(project, "repro.mod:caller"))
+
+    def test_relative_import_resolves(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {
+                "core/util.py": """
+                    def jitter():
+                        return 1
+                """,
+                "core/mod.py": """
+                    from .util import jitter
+
+                    def caller():
+                        return jitter()
+                """,
+            })
+            self.assertIn("repro.core.util:jitter",
+                          self._edges_of(project, "repro.core.mod:caller"))
+
+    def test_self_method_dispatch_through_base_chain(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                class Base:
+                    def helper(self):
+                        return 1
+
+                class Child(Base):
+                    def caller(self):
+                        return self.helper()
+            """})
+            self.assertIn("repro.mod:Base.helper",
+                          self._edges_of(project, "repro.mod:Child.caller"))
+
+    def test_receiver_name_heuristic_matches_class(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                class Tracker:
+                    def curve(self):
+                        return 1
+
+                def caller(tracker):
+                    return tracker.curve()
+            """})
+            self.assertIn("repro.mod:Tracker.curve",
+                          self._edges_of(project, "repro.mod:caller"))
+
+    def test_builtin_method_names_never_resolve_by_uniqueness(self):
+        # The DD013 false-positive storm regression: 'rows.append' must
+        # not resolve to the only project method named 'append', because
+        # 'append' is a builtin-list method name.
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                class Container:
+                    def append(self, item):
+                        yield item
+
+                def caller(rows):
+                    rows.append(1)
+            """})
+            self.assertEqual(self._edges_of(project, "repro.mod:caller"),
+                             set())
+
+    def test_matching_receiver_still_resolves_builtin_name(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                class Container:
+                    def append(self, item):
+                        yield item
+
+                def caller(container):
+                    container.append(1)
+            """})
+            self.assertIn("repro.mod:Container.append",
+                          self._edges_of(project, "repro.mod:caller"))
+
+    def test_ambiguous_unique_name_produces_no_edge(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                class A:
+                    def curve(self):
+                        return 1
+
+                class B:
+                    def curve(self):
+                        return 2
+
+                def caller(thing):
+                    return thing.curve()
+            """})
+            self.assertEqual(self._edges_of(project, "repro.mod:caller"),
+                             set())
+
+    def test_generator_valued_fixed_point_covers_flat_wrappers(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                def gen():
+                    yield 1
+
+                def wrapper():
+                    return gen()
+
+                def wrapper2():
+                    return wrapper()
+
+                def plain():
+                    return 1
+            """})
+            graph = CallGraph(project)
+            self.assertTrue(graph.is_generator_valued("repro.mod:gen"))
+            self.assertTrue(graph.is_generator_valued("repro.mod:wrapper"))
+            self.assertTrue(graph.is_generator_valued("repro.mod:wrapper2"))
+            self.assertFalse(graph.is_generator_valued("repro.mod:plain"))
+
+    def test_nested_def_yield_does_not_mark_outer(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"mod.py": """
+                def outer():
+                    def inner():
+                        yield 1
+                    return inner
+            """})
+            graph = CallGraph(project)
+            self.assertFalse(graph.is_generator_valued("repro.mod:outer"))
+
+    def test_module_name_collision_noted_first_wins(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for prefix in ("a", "b"):
+                path = root / prefix / "repro" / "mod.py"
+                path.parent.mkdir(parents=True)
+                (path.parent / "__init__.py").write_text("")
+                path.write_text("def f():\n    return 1\n")
+            paths = sorted(root.rglob("*.py"))
+            project = Project.load(paths, root=root)
+            self.assertEqual(len(project.modules), 2)  # repro + repro.mod
+            self.assertTrue(
+                any("collision" in note for note in project.notes))
+
+
+class TaintTests(unittest.TestCase):
+    """DD011: interprocedural nondeterminism taint with witness paths."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.findings = [f for f in fixture_report(["DD011"]).findings
+                        if f.rule_id == "DD011"]
+
+    def _in_file(self, name):
+        return [f for f in self.findings if f.path.endswith(name)]
+
+    def test_fixture_corpus_fires_exactly_four(self):
+        self.assertEqual(len(self.findings), 4,
+                         [f.message for f in self.findings])
+
+    def test_two_hop_cross_module_witness_is_complete(self):
+        hits = [f for f in self._in_file("victim_sel.py")
+                if "two_hop" in f.message]
+        self.assertEqual(len(hits), 1)
+        witness = hits[0].witness
+        # source -> jitter -> two_hop chain, rendered innermost-last.
+        self.assertGreaterEqual(len(witness), 2)
+        notes = " | ".join(hop.note for hop in witness)
+        self.assertIn("two_hop", notes)
+        self.assertIn("jitter", notes)
+        self.assertIn("time.time", notes)
+        self.assertTrue(
+            all(hop.path.endswith("helpers.py") for hop in witness[1:]),
+            [hop.path for hop in witness])
+
+    def test_set_iteration_order_taint_fires(self):
+        hits = [f for f in self._in_file("victim_sel.py")
+                if "set" in f.message.lower()]
+        self.assertEqual(len(hits), 1)
+        self.assertEqual(hits[0].line, 17)
+
+    def test_sorted_cleanses_order_taint(self):
+        lines = {f.line for f in self._in_file("victim_sel.py")}
+        self.assertNotIn(23, lines)  # pick_candidate_sorted stays clean
+
+    def test_one_hop_hash_taint_fires(self):
+        hits = [f for f in self._in_file("admitter.py")]
+        self.assertEqual(len(hits), 2, [f.message for f in hits])
+        # The hash() provenance lives in the witness chain.
+        evidence = " | ".join(hop.note for f in hits for hop in f.witness)
+        self.assertIn("hash", evidence)
+
+    def test_attribute_taint_reaches_other_method(self):
+        # reseed() poisons self._salt; admit_salted() reads it.
+        hits = [f for f in self._in_file("admitter.py")
+                if "_salt" in f.message or "_salt" in " ".join(
+                    hop.note for hop in f.witness)]
+        self.assertEqual(len(hits), 1, [f.message for f in hits])
+
+    def test_realtime_modules_are_exempt(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"service/handler.py": """
+                import time
+
+                def select_candidate(entries):
+                    bias = time.time()
+                    return [e for e in entries if e > bias]
+            """})
+            report = analyze_project(project, rule_ids=["DD011"])
+            self.assertEqual(report.findings, [],
+                             [f.message for f in report.findings])
+
+    def test_suppression_pragma_silences_dd011(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"core/mod.py": """
+                import time
+
+                def select_candidate(entries):
+                    bias = time.time()  # dd-lint: disable=DD011 (test shim)
+                    return [e for e in entries if e > bias]
+            """})
+            report = analyze_project(project, rule_ids=["DD011"])
+            self.assertEqual(report.findings, [],
+                             [f.message for f in report.findings])
+
+    def test_non_sink_functions_stay_clean(self):
+        # helpers.py is all sources and laundering — no decision sink, so
+        # DD011 anchors in the sink files only.
+        self.assertEqual(self._in_file("helpers.py"), [])
+
+
+class AsyncSafeTests(unittest.TestCase):
+    """DD012: read-modify-write across awaits in realtime modules."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.findings = [f for f in fixture_report(["DD012"]).findings
+                        if f.rule_id == "DD012"]
+
+    def test_fixture_corpus_fires_exactly_three(self):
+        self.assertEqual(len(self.findings), 3,
+                         [f.message for f in self.findings])
+        lines = sorted(f.line for f in self.findings)
+        self.assertEqual(lines, [19, 22, 25])
+
+    def test_cross_segment_witness_has_load_await_store(self):
+        stale = [f for f in self.findings if f.line == 19]
+        self.assertEqual(len(stale), 1)
+        notes = [hop.note for hop in stale[0].witness]
+        self.assertEqual(len(notes), 3, notes)
+        self.assertTrue(any("read" in n or "load" in n for n in notes))
+        self.assertTrue(any("await" in n for n in notes))
+        self.assertTrue(any("store" in n or "writ" in n for n in notes))
+
+    def test_lock_guarded_section_is_clean(self):
+        # bump_locked spans lines 27-31; no finding may anchor there.
+        self.assertFalse([f for f in self.findings if 27 <= f.line <= 31])
+
+    def test_non_realtime_async_code_is_out_of_scope(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"core/racer.py": """
+                import asyncio
+
+                class C:
+                    def __init__(self):
+                        self.n = 0
+
+                    async def bump(self):
+                        n = self.n
+                        await asyncio.sleep(0)
+                        self.n = n + 1
+            """})
+            report = analyze_project(project, rule_ids=["DD012"])
+            self.assertEqual(report.findings, [])
+
+
+class GeneratorProtocolTests(unittest.TestCase):
+    """DD013: yield-of-generator and discarded generator calls."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.findings = [f for f in fixture_report(["DD013"]).findings
+                        if f.rule_id == "DD013"]
+
+    def test_fixture_corpus_fires_exactly_three(self):
+        self.assertEqual(len(self.findings), 3,
+                         [f.message for f in self.findings])
+
+    def test_yield_through_flat_wrapper_is_caught(self):
+        # broken_wrapper_yield yields flat_wrapper(env): only the
+        # generator-valuedness fixed point can classify flat_wrapper.
+        hits = [f for f in self.findings if "flat_wrapper" in f.message]
+        self.assertEqual(len(hits), 1)
+
+    def test_discarded_generator_is_caught(self):
+        hits = [f for f in self.findings if "discard" in f.message]
+        self.assertEqual(len(hits), 1)
+
+    def test_yield_from_stays_clean(self):
+        lines = {f.line for f in self.findings}
+        self.assertFalse(lines & {30, 31})  # proper()'s yield-froms
+
+    def test_witness_points_at_generator_definition(self):
+        for finding in self.findings:
+            self.assertEqual(len(finding.witness), 1)
+            self.assertIn("generator-valued", finding.witness[0].note)
+
+
+class AuditCoverageTests(unittest.TestCase):
+    """DD014: every monotone ledger counter needs an auditor invariant."""
+
+    def test_fixture_ghost_counter_fires_exactly_once(self):
+        findings = [f for f in fixture_report(["DD014"]).findings
+                    if f.rule_id == "DD014"]
+        self.assertEqual(len(findings), 1, [f.message for f in findings])
+        self.assertIn("ghost_counter", findings[0].message)
+
+    def test_gauges_are_exempt(self):
+        findings = fixture_report(["DD014"]).findings
+        self.assertFalse(
+            [f for f in findings if "used_blocks" in f.message])
+
+    def test_partial_project_skips_with_note(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            project = make_project(tmp, {"core/other.py": """
+                def f():
+                    return 1
+            """})
+            report = analyze_project(project, rule_ids=["DD014"])
+            self.assertEqual(report.findings, [])
+            self.assertTrue(
+                any("DD014 skipped" in note for note in report.notes),
+                report.notes)
+
+
+class FixtureCorpusTests(unittest.TestCase):
+    def test_full_corpus_counts_pin_every_rule(self):
+        report = fixture_report()
+        counts = Counter(f.rule_id for f in report.findings)
+        self.assertEqual(dict(counts),
+                         {"DD011": 4, "DD012": 3, "DD013": 3, "DD014": 1})
+
+    def test_shipped_tree_is_interprocedurally_clean(self):
+        # The acceptance gate: src/ and tests/ carry zero whole-program
+        # findings (fixtures are pruned from the walk).
+        report = analyze_paths([REPO / "src", REPO / "tests"], root=REPO)
+        self.assertEqual(report.findings, [],
+                         "\n".join(f"{f.path}:{f.line}: {f.rule_id} "
+                                   f"{f.message}"
+                                   for f in report.findings))
+
+    def test_fixture_walk_is_pruned_from_default_lint(self):
+        files = list(iter_python_files([REPO / "tests"]))
+        self.assertFalse([p for p in files if "interproc" in str(p)])
+
+
+class WitnessFormatTests(unittest.TestCase):
+    def _finding(self):
+        return Finding(
+            rule_id="DD011", severity="error", path="repro/core/a.py",
+            line=10, col=4, message="tainted decision",
+            witness=(WitnessHop("repro/core/a.py", 10, "sink here"),
+                     WitnessHop("repro/core/b.py", 3, "source here")))
+
+    def test_text_rendering_shows_every_hop(self):
+        text = format_findings_text([self._finding()])
+        self.assertIn("witness: repro/core/a.py:10: sink here", text)
+        self.assertIn("-> repro/core/b.py:3: source here", text)
+
+    def test_json_round_trip_preserves_witness(self):
+        finding = self._finding()
+        payload = json.loads(format_findings_json([finding], strict=True))
+        rebuilt = Finding.from_dict(payload["findings"][0])
+        self.assertEqual(rebuilt, finding)
+
+    def test_witness_key_absent_for_per_file_findings(self):
+        bare = Finding(rule_id="DD001", severity="error", path="x.py",
+                       line=1, col=0, message="m")
+        self.assertNotIn("witness", bare.as_dict())
+
+
+class SarifTests(unittest.TestCase):
+    """Self-check against the shape SARIF 2.1.0 makes mandatory."""
+
+    @classmethod
+    def setUpClass(cls):
+        report = fixture_report()
+        cls.findings = report.findings
+        cls.doc = json.loads(format_findings_sarif(cls.findings))
+
+    def test_toplevel_shape(self):
+        self.assertEqual(self.doc["version"], SARIF_VERSION)
+        self.assertEqual(self.doc["$schema"], SARIF_SCHEMA_URI)
+        self.assertEqual(len(self.doc["runs"]), 1)
+
+    def test_driver_carries_full_catalog(self):
+        driver = self.doc["runs"][0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "sim-lint")
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        self.assertEqual(len(rule_ids), len(set(rule_ids)))
+        for entry in rule_catalog():
+            self.assertIn(entry["id"], rule_ids)
+        self.assertIn("DD000", rule_ids)
+
+    def test_results_reference_rules_by_index(self):
+        driver = self.doc["runs"][0]["tool"]["driver"]
+        for result in self.doc["runs"][0]["results"]:
+            self.assertIn(result["level"], ("error", "warning", "note"))
+            self.assertTrue(result["message"]["text"])
+            index = result["ruleIndex"]
+            self.assertEqual(driver["rules"][index]["id"], result["ruleId"])
+            location = result["locations"][0]["physicalLocation"]
+            self.assertTrue(location["artifactLocation"]["uri"])
+            self.assertGreaterEqual(location["region"]["startLine"], 1)
+
+    def test_witnesses_become_code_flows(self):
+        with_witness = [f for f in self.findings if f.witness]
+        self.assertTrue(with_witness)
+        by_key = {(f.path, f.line, f.rule_id): f for f in with_witness}
+        for result in self.doc["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"]
+            line = result["locations"][0]["physicalLocation"][
+                "region"]["startLine"]
+            finding = by_key.get((uri, line, result["ruleId"]))
+            if finding is None:
+                continue
+            flows = result["codeFlows"]
+            locations = flows[0]["threadFlows"][0]["locations"]
+            self.assertEqual(len(locations), len(finding.witness))
+            for hop, loc in zip(finding.witness, locations):
+                self.assertEqual(loc["location"]["message"]["text"],
+                                 hop.note)
+
+    def test_columns_are_one_based(self):
+        for result in self.doc["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            if "startColumn" in region:
+                self.assertGreaterEqual(region["startColumn"], 1)
+        self.assertEqual(self.doc["runs"][0]["columnKind"],
+                         "utf16CodeUnits")
+
+    def test_cli_sarif_output_parses(self):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer), \
+                contextlib.redirect_stderr(io.StringIO()):
+            status = lint_main([str(INTERPROC_FIXTURES),
+                                "--interprocedural", "--format", "sarif"])
+        self.assertEqual(status, 1)
+        doc = json.loads(buffer.getvalue())
+        rule_ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        self.assertTrue({"DD011", "DD012", "DD013", "DD014"} <= rule_ids)
+
+
+class CliTests(unittest.TestCase):
+    def _run(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            status = lint_main(argv)
+        return status, out.getvalue(), err.getvalue()
+
+    def test_interprocedural_fires_on_fixtures(self):
+        status, out, _ = self._run(
+            [str(INTERPROC_FIXTURES), "--interprocedural",
+             "--format", "json"])
+        self.assertEqual(status, 1)
+        payload = json.loads(out)
+        fired = {f["rule"] for f in payload["findings"]}
+        self.assertTrue(set(WHOLE_PROGRAM_RULE_IDS) <= fired, fired)
+
+    def test_interprocedural_witness_in_json(self):
+        _, out, _ = self._run(
+            [str(INTERPROC_FIXTURES), "--rule", "DD011",
+             "--format", "json"])
+        payload = json.loads(out)
+        two_hop = [f for f in payload["findings"]
+                   if "two_hop" in f["message"]]
+        self.assertTrue(two_hop)
+        self.assertTrue(two_hop[0]["witness"])
+        self.assertTrue(all({"path", "line", "note"} <= set(h)
+                            for h in two_hop[0]["witness"]))
+
+    def test_whole_program_rule_id_implies_interprocedural(self):
+        status, out, _ = self._run(
+            [str(INTERPROC_FIXTURES), "--rule", "DD013",
+             "--format", "json"])
+        self.assertEqual(status, 1)
+        payload = json.loads(out)
+        self.assertEqual({f["rule"] for f in payload["findings"]},
+                         {"DD013"})
+
+    def test_shipped_tree_passes_strict_interprocedural(self):
+        status, out, _ = self._run(
+            ["src", "tests", "--interprocedural", "--strict"])
+        self.assertEqual(status, 0, out)
+
+    def test_budget_overrun_fails(self):
+        status, _, err = self._run(
+            [str(INTERPROC_FIXTURES / "repro" / "core" / "helpers.py"),
+             "--rule", "DD002", "--budget", "0.0"])
+        self.assertEqual(status, 1)
+        self.assertIn("--budget", err)
+
+    def test_list_rules_json_includes_whole_program_rules(self):
+        status, out, _ = self._run(["--list-rules", "--format", "json"])
+        self.assertEqual(status, 0)
+        payload = json.loads(out)
+        by_id = {entry["id"]: entry for entry in payload["rules"]}
+        for rule in INTERPROC_RULES:
+            self.assertIn(rule.rule_id, by_id)
+            entry = by_id[rule.rule_id]
+            self.assertEqual(entry["scope"], "whole-program")
+            self.assertTrue(entry["witness"],
+                            f"{rule.rule_id} must document its witness "
+                            f"format")
+
+    def test_changed_lints_only_differing_files(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            subprocess.run(["git", "init", "-q"], cwd=root, check=True)
+            subprocess.run(["git", "-c", "user.email=t@t",
+                            "-c", "user.name=t", "commit", "-q",
+                            "--allow-empty", "-m", "seed"],
+                           cwd=root, check=True)
+            pkg = root / "src" / "repro" / "core"
+            pkg.mkdir(parents=True)
+            for part in (root / "src" / "repro", pkg):
+                (part / "__init__.py").write_text("")
+            (pkg / "bad.py").write_text(
+                "import time\n\n"
+                "def pick():\n"
+                "    return time.time()\n")
+            proc = subprocess.run(
+                [sys_executable(), "-m", "repro.lint", "src",
+                 "--changed", "--format", "json"],
+                cwd=root, capture_output=True, text=True,
+                env=_env_with_src())
+            self.assertEqual(proc.returncode, 1, proc.stderr)
+            payload = json.loads(proc.stdout)
+            self.assertTrue(payload["findings"])
+            self.assertTrue(all("bad.py" in f["path"]
+                                for f in payload["findings"]))
+            self.assertIn("--changed=HEAD", proc.stderr + proc.stdout)
+
+    def test_changed_with_interprocedural_notes_full_tree_fallback(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            subprocess.run(["git", "init", "-q"], cwd=root, check=True)
+            subprocess.run(["git", "-c", "user.email=t@t",
+                            "-c", "user.name=t", "commit", "-q",
+                            "--allow-empty", "-m", "seed"],
+                           cwd=root, check=True)
+            (root / "clean.py").write_text("X = 1\n")
+            proc = subprocess.run(
+                [sys_executable(), "-m", "repro.lint", ".",
+                 "--changed", "--interprocedural"],
+                cwd=root, capture_output=True, text=True,
+                env=_env_with_src())
+            self.assertIn("cannot run incrementally",
+                          proc.stdout + proc.stderr)
+
+
+def sys_executable():
+    import sys
+
+    return sys.executable
+
+
+def _env_with_src():
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.setdefault("PYTHONHASHSEED", "0")
+    return env
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -402,5 +402,22 @@ class AdmissionTests(ServerHarness):
         writer.close()
 
 
+class LifecycleTests(ServerHarness):
+    """Shutdown races: the DD012 finding fixed in server.close()."""
+
+    async def test_concurrent_close_is_idempotent(self):
+        # A SIGTERM handler racing a failed-startup unwind used to
+        # double-close the listener: both coroutines read self._server,
+        # suspended in wait_closed(), then each closed it again.  The
+        # capture-and-swap makes the loser see None.
+        await asyncio.gather(self.server.close(), self.server.close())
+        # tearDown's third close() must also be a no-op.
+
+    async def test_close_after_close_is_a_noop(self):
+        await self.server.close()
+        await self.server.close()
+        self.assertIsNone(self.server._server)
+
+
 if __name__ == "__main__":
     unittest.main()
